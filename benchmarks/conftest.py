@@ -1,0 +1,56 @@
+"""Shared benchmark plumbing.
+
+Figs. 2+5 and 3+6 are rendered from the *same* experiment runs (the
+paper measured throughput and replication delay in one deployment), so
+grids are computed once per (ratio, location) and cached for the
+session.  ``REPRO_SCALE`` (quick | standard | full) selects grid
+density and run durations; ``full`` is the paper's exact 35-minute
+grid and takes hours.
+
+Each bench prints its table (run pytest with ``-s`` to see them live)
+and saves it under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import (LocationConfig, bench_scale,
+                               run_throughput_delay_grid)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_GRID_CACHE: dict = {}
+
+
+def get_grid(ratio: str, location: LocationConfig):
+    """Run (or fetch) the sweep grid for one sub-figure."""
+    profile = bench_scale()
+    key = (ratio, location, profile.name)
+    if key not in _GRID_CACHE:
+        _GRID_CACHE[key] = run_throughput_delay_grid(ratio, location,
+                                                     profile)
+    return _GRID_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a rendered table and persist it."""
+    print(f"\n{text}\n")
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    These are simulation *experiments*, not micro-benchmarks; repeating
+    them only repeats identical seeded runs.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

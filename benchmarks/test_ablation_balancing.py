@@ -1,0 +1,67 @@
+"""Ablation — read-balancing policy over heterogeneous slaves.
+
+The paper's closing suggestion (§IV-B.2): geographic replication works
+"as long as workload characteristics can be well managed (e.g. having
+a smart load balancer which is able of balancing the operations based
+on estimated processing time)".  This ablation compares Connector/J's
+round-robin against a least-outstanding balancer on a slave pool whose
+hardware lottery produced unequal instances.
+"""
+
+from repro.cloud import Cloud, MASTER_PLACEMENT
+from repro.replication import ConnectionPool, ReplicationManager
+from repro.sim import RandomStreams, Simulator
+from repro.workloads.cloudstone import (LoadGenerator, MIX_80_20, Phases,
+                                        load_initial_data)
+
+from conftest import publish, run_once
+
+PHASES = Phases(ramp_up=30.0, steady=120.0, ramp_down=15.0)
+
+
+def run_policy(policy, seed=31):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    cloud = Cloud(sim, streams)
+    manager = ReplicationManager(sim, cloud, ntp_period=None)
+    master = manager.create_master(MASTER_PLACEMENT)
+    state = load_initial_data(master, 300, streams.stream("loader"))
+    for _ in range(4):
+        manager.add_slave(MASTER_PLACEMENT)
+    # Same seed => identical hardware lottery across policies.
+    speeds = sorted(s.instance.effective_speed for s in manager.slaves)
+    proxy = manager.build_proxy(
+        MASTER_PLACEMENT, policy=policy,
+        rng=streams.stream("proxy") if policy == "random" else None)
+    pool = ConnectionPool(sim, max_active=256)
+    generator = LoadGenerator(sim, proxy, pool, MIX_80_20, state, streams,
+                              n_users=180, think_time_mean=7.0,
+                              phases=PHASES)
+    generator.start()
+    sim.run(until=PHASES.total)
+    worst_backlog = max(s.relay_backlog for s in manager.slaves)
+    return (generator.steady_throughput(),
+            generator.steady_mean_latency() * 1000.0,
+            worst_backlog, speeds)
+
+
+def test_balancing_policies_on_heterogeneous_pool(benchmark, results_dir):
+    def sweep():
+        return {policy: run_policy(policy)
+                for policy in ("round_robin", "least_outstanding",
+                               "random")}
+
+    rows = run_once(benchmark, sweep)
+    speeds = rows["round_robin"][3]
+    lines = [f"slave pool relative speeds: "
+             f"{', '.join(f'{s:.2f}' for s in speeds)}",
+             "policy              tput    mean-latency-ms  worst-backlog"]
+    for policy, (tput, latency, backlog, _s) in rows.items():
+        lines.append(f"{policy:18s} {tput:6.1f} {latency:16.1f} "
+                     f"{backlog:14d}")
+    publish(results_dir, "ablation_balancing", "\n".join(lines))
+
+    # The queue-aware balancer must not lose to blind round-robin on
+    # latency when the pool is unequal.
+    assert rows["least_outstanding"][1] <= rows["round_robin"][1] * 1.05
+    assert rows["least_outstanding"][0] >= rows["round_robin"][0] * 0.95

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Clock synchronization study (the paper's Fig. 4, §IV-B.1).
+
+Measuring replication delay from timestamps committed on two machines
+only works if you control their clocks.  This example reproduces the
+paper's measurement: two instances, 20 minutes, sampling the
+inter-instance clock difference under three policies — no NTP at all,
+NTP once at the beginning, NTP every second — and prints an ASCII
+rendition of Fig. 4.
+
+Run:  python examples/clock_sync_study.py
+"""
+
+import numpy as np
+
+from repro.cloud import Cloud, MASTER_PLACEMENT, SMALL
+from repro.sim import RandomStreams, Simulator
+
+DURATION = 1200.0       # 20 minutes
+SAMPLE_PERIOD = 10.0
+
+
+def run_policy(period, label):
+    """One 20-minute run; returns |difference| samples in ms."""
+    sim = Simulator()
+    streams = RandomStreams(seed=4)
+    cloud = Cloud(sim, streams)
+    # The paper's anecdotal pair: ~7 ms apart at boot, ~36 ppm relative
+    # drift.
+    a = cloud.launch(SMALL, MASTER_PLACEMENT, name="a",
+                     offset=0.004, drift_rate=18e-6)
+    b = cloud.launch(SMALL, MASTER_PLACEMENT, name="b",
+                     offset=-0.003, drift_rate=-18e-6)
+    if period != "none":
+        cloud.start_ntp(a, period=period)
+        cloud.start_ntp(b, period=period)
+    samples = []
+
+    def sampler(sim):
+        while True:
+            yield sim.timeout(SAMPLE_PERIOD)
+            samples.append(abs(a.clock.difference(b.clock)) * 1000.0)
+
+    sim.process(sampler(sim))
+    sim.run(until=DURATION)
+    return label, samples
+
+
+def sparkline(samples, width=60, ceiling=60.0):
+    blocks = " .:-=+*#%@"
+    step = max(1, len(samples) // width)
+    chars = []
+    for index in range(0, len(samples), step):
+        value = min(samples[index], ceiling)
+        chars.append(blocks[int(value / ceiling * (len(blocks) - 1))])
+    return "".join(chars)
+
+
+def main():
+    runs = [
+        run_policy("none", "no NTP at all"),
+        run_policy(None, "NTP once at beginning"),
+        run_policy(1.0, "NTP every second"),
+    ]
+    print(f"inter-instance |clock difference| over "
+          f"{DURATION / 60:.0f} minutes "
+          f"(sample every {SAMPLE_PERIOD:.0f} s)\n")
+    for label, samples in runs:
+        arr = np.asarray(samples)
+        print(f"{label:24s} median {np.median(arr):6.2f} ms  "
+              f"std {np.std(arr):5.2f}  "
+              f"first {arr[0]:6.2f}  last {arr[-1]:6.2f}")
+        print(f"{'':24s} [{sparkline(samples)}]")
+    print("\npaper reference: sync-once 7 -> 50 ms "
+          "(median 28.23, std 12.31); every-second 1-8 ms band "
+          "(median 3.30, std 1.19)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: this offline environment has no `wheel` package, so
+`pip install -e .` (which builds an editable wheel) cannot run.  `python
+setup.py develop` provides the equivalent editable install."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Reproduction of "Application-Managed Database Replication on
+Virtualized Cloud Environments" (Zhao, Sakr, Fekete, Wada, Liu —
+ICDE 2012).
+
+The package layers:
+
+* :mod:`repro.sim` — discrete-event simulation kernel;
+* :mod:`repro.cloud` — simulated EC2 (regions, instances with hardware
+  lottery, drifting clocks, NTP, the latency model);
+* :mod:`repro.sql` / :mod:`repro.db` — a MySQL-like SQL engine with a
+  statement-based binlog;
+* :mod:`repro.replication` — the master-slave middleware (dump/IO/SQL
+  threads, proxy, pool, heartbeat measurement, the application-managed
+  cluster controller);
+* :mod:`repro.workloads` — the customized Cloudstone benchmark;
+* :mod:`repro.experiments` — configs, runner, and generators for every
+  figure in the paper.
+
+Quickstart::
+
+    from repro.experiments import (LocationConfig, PAPER_50_50,
+                                   run_experiment)
+    from repro.workloads.cloudstone import Phases
+
+    config = PAPER_50_50(LocationConfig.SAME_ZONE, n_slaves=2,
+                         n_users=100, phases=Phases().scaled(0.1))
+    result = run_experiment(config)
+    print(result.throughput, result.relative_delay_ms)
+"""
+
+from . import cloud, db, experiments, metrics, replication, sim, sql, workloads
+
+__version__ = "1.0.0"
+
+__all__ = ["sim", "cloud", "sql", "db", "replication", "workloads",
+           "experiments", "metrics", "__version__"]

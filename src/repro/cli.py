@@ -1,0 +1,209 @@
+"""Command-line interface: regenerate any paper artefact.
+
+Usage::
+
+    python -m repro fig4
+    python -m repro rtt
+    python -m repro fig2 --location same_zone --scale quick
+    python -m repro cell --ratio 80/20 --location different_region \
+        --slaves 4 --users 250
+
+Every subcommand prints the same table the corresponding bench writes
+to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from .experiments import (LOCATIONS, LocationConfig, PAPER_50_50,
+                          PAPER_80_20, render_delay_table, render_fig4,
+                          render_instance_variation, render_rtt_table,
+                          render_saturation_schedule,
+                          render_throughput_table, run_experiment,
+                          run_fig4_clock_sync, run_instance_variation,
+                          run_rtt_characterization,
+                          run_throughput_delay_grid)
+from .experiments.figures import _PROFILES
+
+__all__ = ["main", "build_parser"]
+
+
+def _location(value: str) -> LocationConfig:
+    try:
+        return LocationConfig(value)
+    except ValueError:
+        choices = ", ".join(l.value for l in LocationConfig)
+        raise argparse.ArgumentTypeError(
+            f"unknown location {value!r} (choose from {choices})")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate results from 'Application-Managed "
+                    "Database Replication on Virtualized Cloud "
+                    "Environments' (ICDE 2012)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_grid_command(name, ratio, render, what):
+        cmd = sub.add_parser(name, help=f"{what} ({ratio})")
+        cmd.add_argument("--location", type=_location, default=None,
+                         help="one placement (default: all three)")
+        cmd.add_argument("--scale", choices=sorted(_PROFILES),
+                         default="quick")
+        cmd.add_argument("--seed", type=int, default=0)
+        cmd.set_defaults(ratio=ratio, render=render, what=what,
+                         handler=_run_grid_command)
+
+    add_grid_command("fig2", "50/50", render_throughput_table,
+                     "end-to-end throughput")
+    add_grid_command("fig3", "80/20", render_throughput_table,
+                     "end-to-end throughput")
+    add_grid_command("fig5", "50/50", render_delay_table,
+                     "average relative replication delay")
+    add_grid_command("fig6", "80/20", render_delay_table,
+                     "average relative replication delay")
+
+    fig4 = sub.add_parser("fig4", help="inter-instance clock differences")
+    fig4.add_argument("--duration", type=float, default=1200.0)
+    fig4.add_argument("--seed", type=int, default=0)
+    fig4.set_defaults(handler=_run_fig4)
+
+    rtt = sub.add_parser("rtt", help="half-RTT characterization")
+    rtt.add_argument("--probes", type=int, default=1200)
+    rtt.add_argument("--seed", type=int, default=0)
+    rtt.set_defaults(handler=_run_rtt)
+
+    var = sub.add_parser("variation",
+                         help="small-instance performance variation")
+    var.add_argument("--launches", type=int, default=2000)
+    var.add_argument("--seed", type=int, default=0)
+    var.set_defaults(handler=_run_variation)
+
+    sat = sub.add_parser("saturation",
+                         help="saturation-transition schedule (50/50)")
+    sat.add_argument("--location", type=_location,
+                     default=LocationConfig.SAME_ZONE)
+    sat.add_argument("--scale", choices=sorted(_PROFILES),
+                     default="quick")
+    sat.add_argument("--seed", type=int, default=0)
+    sat.set_defaults(handler=_run_saturation)
+
+    report = sub.add_parser(
+        "report", help="full Markdown report of every artefact")
+    report.add_argument("--scale", choices=sorted(_PROFILES),
+                        default="quick")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--output", default=None,
+                        help="write to this path instead of stdout")
+    report.set_defaults(handler=_run_report)
+
+    cell = sub.add_parser("cell", help="run a single experiment cell")
+    cell.add_argument("--ratio", choices=("50/50", "80/20"),
+                      default="50/50")
+    cell.add_argument("--location", type=_location,
+                      default=LocationConfig.SAME_ZONE)
+    cell.add_argument("--slaves", type=int, default=2)
+    cell.add_argument("--users", type=int, default=100)
+    cell.add_argument("--scale", choices=sorted(_PROFILES),
+                      default="quick")
+    cell.add_argument("--seed", type=int, default=0)
+    cell.set_defaults(handler=_run_cell)
+
+    return parser
+
+
+def _run_grid_command(args) -> str:
+    profile = _PROFILES[args.scale]
+    locations = [args.location] if args.location else list(LOCATIONS)
+    blocks = []
+    for location in locations:
+        grids = run_throughput_delay_grid(args.ratio, location, profile,
+                                          seed=args.seed)
+        blocks.append(args.render(
+            grids, f"{args.what} — {args.ratio}, {location.value}, "
+                   f"scale={profile.name}"))
+    return "\n\n".join(blocks)
+
+
+def _run_fig4(args) -> str:
+    series = run_fig4_clock_sync(duration=args.duration, seed=args.seed)
+    return render_fig4(series)
+
+
+def _run_rtt(args) -> str:
+    return render_rtt_table(run_rtt_characterization(probes=args.probes,
+                                                     seed=args.seed))
+
+
+def _run_variation(args) -> str:
+    return render_instance_variation(
+        run_instance_variation(launches=args.launches, seed=args.seed))
+
+
+def _run_saturation(args) -> str:
+    profile = _PROFILES[args.scale]
+    grids = run_throughput_delay_grid("50/50", args.location, profile,
+                                      seed=args.seed)
+    return render_saturation_schedule(grids)
+
+
+def _run_report(args) -> str:
+    from .experiments.report import (MarkdownReport, fig4_section,
+                                     grid_section, rtt_section)
+    profile = _PROFILES[args.scale]
+    report = MarkdownReport(
+        f"Reproduction run — scale={profile.name}, seed={args.seed}")
+    for ratio, fig_pair in (("50/50", "Figs. 2/5"), ("80/20",
+                                                     "Figs. 3/6")):
+        for location in LOCATIONS:
+            grids = run_throughput_delay_grid(ratio, location, profile,
+                                              seed=args.seed)
+            grid_section(report, grids,
+                         f"{fig_pair} — {ratio}, {location.value}")
+    fig4_section(report, run_fig4_clock_sync(seed=args.seed))
+    rtt_section(report, run_rtt_characterization(seed=args.seed))
+    report.add_heading("Instance variation (§IV-A)")
+    report.add_paragraph(render_instance_variation(
+        run_instance_variation(seed=args.seed)))
+    text = report.render()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        return f"report written to {args.output}"
+    return text
+
+
+def _run_cell(args) -> str:
+    profile = _PROFILES[args.scale]
+    factory = PAPER_50_50 if args.ratio == "50/50" else PAPER_80_20
+    config = factory(args.location, args.slaves, args.users,
+                     profile.phases, seed=args.seed,
+                     baseline_duration=profile.baseline_duration)
+    result = run_experiment(config)
+    delay = (f"{result.relative_delay_ms:.1f} ms"
+             if result.relative_delay_ms is not None else "n/a")
+    percentiles = result.latency_percentiles_s
+    percentile_text = "  ".join(
+        f"p{int(p)}={value * 1000:.0f}ms"
+        for p, value in sorted(percentiles.items()))
+    return "\n".join([
+        f"cell: {config.label}",
+        f"throughput:          {result.throughput:.2f} ops/s",
+        f"read fraction:       {result.achieved_read_fraction:.2f}",
+        f"mean latency:        {result.mean_latency_s * 1000:.1f} ms",
+        f"latency percentiles: {percentile_text}",
+        f"relative delay:      {delay}",
+        f"master CPU:          {result.master_cpu:.2f}",
+        f"slave CPUs:          "
+        f"{[round(u, 2) for u in result.slave_cpus]}",
+        f"saturated resource:  {result.saturated_resource}",
+    ])
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(args.handler(args))
+    return 0

@@ -1,0 +1,33 @@
+"""Simulated EC2: regions, instances, clocks, NTP and the network."""
+
+from .clock import LocalClock
+from .instance import (CpuModel, Instance, InstanceType, LARGE,
+                       LARGE_CPU_LOTTERY, SMALL, SMALL_CPU_LOTTERY)
+from .network import LatencyModel, Network, PAPER_LATENCY
+from .ntp import NtpConfig, NtpDaemon
+from .provisioner import ClockProfile, Cloud
+from .regions import (DEFAULT_CATALOG, MASTER_PLACEMENT, Placement, Region,
+                      RegionCatalog)
+
+__all__ = [
+    "Cloud",
+    "ClockProfile",
+    "Instance",
+    "InstanceType",
+    "CpuModel",
+    "SMALL",
+    "LARGE",
+    "SMALL_CPU_LOTTERY",
+    "LARGE_CPU_LOTTERY",
+    "LocalClock",
+    "NtpDaemon",
+    "NtpConfig",
+    "Network",
+    "LatencyModel",
+    "PAPER_LATENCY",
+    "Placement",
+    "Region",
+    "RegionCatalog",
+    "DEFAULT_CATALOG",
+    "MASTER_PLACEMENT",
+]

@@ -1,0 +1,86 @@
+"""Geographic catalogue of the simulated cloud.
+
+Mirrors the EC2 layout the paper uses: Regions are separate geographic
+areas, Availability Zones are distinct locations within a Region.  The
+paper's experiments place the master (and the load generator) in one
+zone and the slaves in (a) the same zone, (b) a different zone of the
+same region, or (c) a different region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Placement", "Region", "RegionCatalog", "DEFAULT_CATALOG",
+           "MASTER_PLACEMENT"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A (region, zone) pair, e.g. ``us-east-1`` / ``us-east-1a``."""
+
+    region: str
+    zone: str
+
+    def __str__(self) -> str:
+        return self.zone
+
+    def same_zone(self, other: "Placement") -> bool:
+        return self.zone == other.zone
+
+    def same_region(self, other: "Placement") -> bool:
+        return self.region == other.region
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named region and its availability zones."""
+
+    name: str
+    zones: tuple[str, ...]
+
+    def placement(self, zone_suffix: str) -> Placement:
+        zone = f"{self.name}{zone_suffix}"
+        if zone not in self.zones:
+            raise KeyError(f"no zone {zone!r} in region {self.name!r}")
+        return Placement(self.name, zone)
+
+
+class RegionCatalog:
+    """All regions available to the simulated account."""
+
+    def __init__(self, regions: list[Region]):
+        self._regions = {r.name: r for r in regions}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def region(self, name: str) -> Region:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise KeyError(f"unknown region {name!r}") from None
+
+    def placement(self, zone: str) -> Placement:
+        """Resolve a full zone name like ``us-east-1b`` to a Placement."""
+        for region in self._regions.values():
+            if zone in region.zones:
+                return Placement(region.name, zone)
+        raise KeyError(f"unknown availability zone {zone!r}")
+
+    @property
+    def region_names(self) -> list[str]:
+        return sorted(self._regions)
+
+
+#: The regions that appear in the paper's experiment setup (Fig. 1).
+DEFAULT_CATALOG = RegionCatalog([
+    Region("us-east-1", ("us-east-1a", "us-east-1b")),
+    Region("us-west-1", ("us-west-1a", "us-west-1b")),
+    Region("eu-west-1", ("eu-west-1a", "eu-west-1b")),
+    Region("ap-southeast-1", ("ap-southeast-1a",)),
+    Region("ap-northeast-1", ("ap-northeast-1a",)),
+])
+
+#: Where the paper deploys the master database and the load generator.
+MASTER_PLACEMENT = DEFAULT_CATALOG.placement("us-east-1a")

@@ -1,0 +1,30 @@
+"""Database error hierarchy."""
+
+from __future__ import annotations
+
+__all__ = ["DatabaseError", "SchemaError", "TableNotFoundError",
+           "DuplicateKeyError", "ConstraintError", "TransactionError"]
+
+
+class DatabaseError(Exception):
+    """Base class for all storage-engine errors."""
+
+
+class SchemaError(DatabaseError):
+    """Invalid schema definition or DDL misuse."""
+
+
+class TableNotFoundError(DatabaseError):
+    """Referenced table does not exist."""
+
+
+class DuplicateKeyError(DatabaseError):
+    """Primary-key or unique-index violation."""
+
+
+class ConstraintError(DatabaseError):
+    """NOT NULL or type constraint violation."""
+
+
+class TransactionError(DatabaseError):
+    """Invalid transaction-control sequence."""

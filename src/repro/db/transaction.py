@@ -1,0 +1,37 @@
+"""Transaction state: undo log and buffered binlog statements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["UndoRecord", "Transaction"]
+
+
+@dataclass(frozen=True)
+class UndoRecord:
+    """Enough information to reverse one row mutation.
+
+    ``kind`` is ``insert`` (undo = delete pk), ``update`` (undo =
+    restore old row) or ``delete`` (undo = re-insert old row).
+    """
+
+    kind: str
+    table: str
+    pk: Any
+    old_row: Optional[dict] = None
+
+
+@dataclass
+class Transaction:
+    """An open transaction on one engine session."""
+
+    undo: list[UndoRecord] = field(default_factory=list)
+    #: (statement_text, database) pairs, binlogged on commit.
+    binlog_statements: list[tuple[str, str]] = field(default_factory=list)
+
+    def record(self, record: UndoRecord) -> None:
+        self.undo.append(record)
+
+    def record_statement(self, text: str, database: str) -> None:
+        self.binlog_statements.append((text, database))

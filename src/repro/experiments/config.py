@@ -1,0 +1,100 @@
+"""Experiment configuration.
+
+An experiment *cell* is one run: a location configuration, a read/write
+ratio, a number of slaves and a number of concurrent users — the axes
+of the paper's Figs. 2, 3, 5 and 6.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cloud.regions import DEFAULT_CATALOG, MASTER_PLACEMENT, Placement
+from ..workloads.cloudstone import MIX_50_50, MIX_80_20, OperationMix, Phases
+
+__all__ = ["LocationConfig", "ExperimentConfig", "PAPER_50_50",
+           "PAPER_80_20"]
+
+
+class LocationConfig(enum.Enum):
+    """Where the slaves live relative to the master (§III-A).
+
+    The master (and the load generator) always run in the master's
+    zone; the three configurations match the paper's: same zone, a
+    different zone of the same region, or a different region.
+    """
+
+    SAME_ZONE = "same_zone"
+    DIFFERENT_ZONE = "different_zone"
+    DIFFERENT_REGION = "different_region"
+
+    def slave_placement(self, master: Placement = MASTER_PLACEMENT
+                        ) -> Placement:
+        if self is LocationConfig.SAME_ZONE:
+            return master
+        if self is LocationConfig.DIFFERENT_ZONE:
+            region = DEFAULT_CATALOG.region(master.region)
+            for zone in region.zones:
+                if zone != master.zone:
+                    return Placement(master.region, zone)
+            raise ValueError(f"region {master.region} has a single zone")
+        return DEFAULT_CATALOG.placement("eu-west-1a")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One cell of the paper's sweep."""
+
+    location: LocationConfig
+    mix: OperationMix
+    n_slaves: int
+    n_users: int
+    data_size: int
+    phases: Phases
+    seed: int = 0
+    think_time_mean: float = 7.0
+    heartbeat_interval: float = 1.0
+    pool_size: Optional[int] = None     # default: one per user
+    ntp_period: Optional[float] = 1.0
+    #: Seconds of idle (no workload) heartbeat collection used as the
+    #: relative-delay baseline, run before the workload starts.
+    baseline_duration: float = 60.0
+    #: Pin the master to validated nominal hardware (the paper's §IV-A
+    #: advice); slaves always keep the physical-host lottery, which is
+    #: what produced the paper's Fig. 2b/2c anomaly.
+    validated_master: bool = True
+
+    def __post_init__(self):
+        if self.n_slaves < 0:
+            raise ValueError("n_slaves must be >= 0")
+        if self.n_users < 1:
+            raise ValueError("n_users must be >= 1")
+        if self.data_size < 1:
+            raise ValueError("data_size must be >= 1")
+
+    @property
+    def label(self) -> str:
+        return (f"{self.location.value}/{self.mix.name} "
+                f"slaves={self.n_slaves} users={self.n_users}")
+
+
+def PAPER_50_50(location: LocationConfig, n_slaves: int, n_users: int,
+                phases: Phases, seed: int = 0,
+                **overrides) -> ExperimentConfig:
+    """A cell of the 50/50 sweep (Figs. 2 and 5): data size 300."""
+    overrides.setdefault("data_size", 300)
+    return ExperimentConfig(location=location, mix=MIX_50_50,
+                            n_slaves=n_slaves, n_users=n_users,
+                            phases=phases, seed=seed, **overrides)
+
+
+def PAPER_80_20(location: LocationConfig, n_slaves: int, n_users: int,
+                phases: Phases, seed: int = 0,
+                **overrides) -> ExperimentConfig:
+    """A cell of the 80/20 sweep (Figs. 3 and 6): data size 600."""
+    overrides.setdefault("data_size", 600)
+    return ExperimentConfig(location=location, mix=MIX_80_20,
+                            n_slaves=n_slaves, n_users=n_users,
+                            phases=phases, seed=seed, **overrides)

@@ -1,0 +1,112 @@
+"""Markdown report generation.
+
+Turns sweep grids and the standalone characterizations into a single
+Markdown document in the spirit of ``EXPERIMENTS.md`` — handy for
+comparing a fresh run (different seed, scale, or cost-model tweak)
+against the committed reference numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..metrics import summarize
+from .sweeps import SweepResult, max_throughput, saturation_point
+
+__all__ = ["MarkdownReport", "grid_section", "fig4_section",
+           "rtt_section"]
+
+
+@dataclass
+class MarkdownReport:
+    """An accumulating Markdown document."""
+
+    title: str
+    _chunks: list[str] = field(default_factory=list)
+
+    def add_heading(self, text: str, level: int = 2) -> None:
+        self._chunks.append(f"{'#' * level} {text}")
+
+    def add_paragraph(self, text: str) -> None:
+        self._chunks.append(text)
+
+    def add_table(self, headers: list[str], rows: list[list[str]]) -> None:
+        lines = ["| " + " | ".join(headers) + " |",
+                 "|" + "|".join("---" for _ in headers) + "|"]
+        for row in rows:
+            lines.append("| " + " | ".join(str(c) for c in row) + " |")
+        self._chunks.append("\n".join(lines))
+
+    def render(self) -> str:
+        return f"# {self.title}\n\n" + "\n\n".join(self._chunks) + "\n"
+
+    def save(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.render())
+
+
+def grid_section(report: MarkdownReport, grids: list[SweepResult],
+                 title: str) -> None:
+    """One sub-figure: throughput table, delay table, saturation rows."""
+    report.add_heading(title)
+    users = grids[0].users
+    headers = ["users"] + [f"{g.n_slaves}-slave" for g in grids]
+
+    throughput_rows = [
+        [str(n)] + [f"{g.results[i].throughput:.1f}" for g in grids]
+        for i, n in enumerate(users)]
+    report.add_paragraph("**End-to-end throughput (operations/second)**")
+    report.add_table(headers, throughput_rows)
+
+    delay_rows = [
+        [str(n)] + [_delay_cell(g.results[i]) for g in grids]
+        for i, n in enumerate(users)]
+    report.add_paragraph("**Average relative replication delay (ms)**")
+    report.add_table(headers, delay_rows)
+
+    saturation_rows = []
+    for sweep in grids:
+        knee_users, knee_tput = max_throughput(sweep)
+        knee = saturation_point(sweep)
+        heaviest = sweep.results[-1]
+        saturation_rows.append([
+            str(sweep.n_slaves),
+            f"{knee_tput:.1f} @ {knee_users}",
+            str(knee) if knee is not None else "still rising",
+            heaviest.saturated_resource,
+        ])
+    report.add_paragraph("**Saturation**")
+    report.add_table(["slaves", "max tput @ users", "saturation point",
+                      "saturated resource"], saturation_rows)
+
+
+def _delay_cell(result) -> str:
+    if result.relative_delay_ms is None:
+        return "n/a"
+    return f"{max(result.relative_delay_ms, 0.01):.1f}"
+
+
+def fig4_section(report: MarkdownReport,
+                 series: dict[str, list[float]]) -> None:
+    report.add_heading("Clock synchronization (Fig. 4)")
+    rows = []
+    for policy, samples in series.items():
+        stats = summarize(samples)
+        rows.append([policy, f"{samples[0]:.2f}", f"{samples[-1]:.2f}",
+                     f"{stats.median:.2f}", f"{stats.std:.2f}"])
+    report.add_table(["policy", "first (ms)", "last (ms)", "median (ms)",
+                      "std (ms)"], rows)
+    report.add_paragraph(
+        "Paper reference: sync-once 7 → 50 ms (median 28.23, σ 12.31); "
+        "sync-every-second 1–8 ms band (median 3.30, σ 1.19).")
+
+
+def rtt_section(report: MarkdownReport,
+                half_rtts: dict[str, float]) -> None:
+    report.add_heading("Half-RTT characterization (§IV-B.2)")
+    paper = {"same_zone": 16.0, "different_zone": 21.0,
+             "different_region": 173.0}
+    rows = [[location, f"{measured:.1f}", f"{paper[location]:.0f}"]
+            for location, measured in half_rtts.items()]
+    report.add_table(["location", "measured (ms)", "paper (ms)"], rows)

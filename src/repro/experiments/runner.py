@@ -1,0 +1,165 @@
+"""Run one experiment cell end to end.
+
+The timeline of a run mirrors the paper's §III-B:
+
+1. build the cloud, launch the master, pre-load the Cloudstone data;
+2. attach the slaves (each from a fresh, fully-synchronized snapshot)
+   at the configured location; start NTP (sync every second) and the
+   heartbeat plug-in;
+3. collect an idle **baseline** heartbeat window (the reference the
+   relative-delay estimator subtracts);
+4. run the workload through ramp-up / steady / ramp-down;
+5. report steady-stage throughput, CPU utilizations, and the average
+   relative replication delay per slave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cloud.instance import CpuModel
+from ..cloud.provisioner import Cloud
+from ..cloud.regions import MASTER_PLACEMENT
+from ..metrics import trimmed_mean
+from ..replication.heartbeat import (HeartbeatPlugin,
+                                     average_relative_delay_ms,
+                                     collect_delays)
+from ..replication.manager import ReplicationManager
+from ..replication.pool import ConnectionPool
+from ..sim import RandomStreams, Simulator
+from ..workloads.cloudstone import LoadGenerator, load_initial_data
+from .config import ExperimentConfig
+
+__all__ = ["ExperimentResult", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one cell."""
+
+    config: ExperimentConfig
+    throughput: float                  # steady-stage operations/second
+    achieved_read_fraction: float
+    mean_latency_s: float
+    master_cpu: float                  # utilization over the steady stage
+    slave_cpus: list[float]
+    relative_delay_ms: Optional[float]  # averaged across slaves
+    per_slave_delay_ms: list[float] = field(default_factory=list)
+    heartbeat_counts: list[int] = field(default_factory=list)
+    #: Steady-stage operation-latency percentiles, seconds.
+    latency_percentiles_s: dict = field(default_factory=dict)
+
+    @property
+    def max_slave_cpu(self) -> float:
+        return max(self.slave_cpus) if self.slave_cpus else 0.0
+
+    @property
+    def saturated_resource(self) -> str:
+        """Which tier hit the wall (>= 90 % busy), if any."""
+        if self.master_cpu >= 0.90:
+            return "master"
+        if self.slave_cpus and self.max_slave_cpu >= 0.90:
+            return "slaves"
+        return "none"
+
+    def row(self) -> str:
+        delay = (f"{self.relative_delay_ms:12.2f}"
+                 if self.relative_delay_ms is not None else "         n/a")
+        return (f"{self.config.n_slaves:7d} {self.config.n_users:6d} "
+                f"{self.throughput:10.2f} {delay} "
+                f"{self.master_cpu:11.2f} {self.max_slave_cpu:10.2f} "
+                f"{self.saturated_resource:>9s}")
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Execute one cell and return its measurements."""
+    sim = Simulator()
+    streams = RandomStreams(config.seed)
+    cloud = Cloud(sim, streams)
+    manager = ReplicationManager(sim, cloud, ntp_period=config.ntp_period)
+    master = manager.create_master(MASTER_PLACEMENT)
+    if config.validated_master:
+        master.instance.pin_hardware(
+            CpuModel("Intel Xeon E5430 2.66GHz", 1.0))
+    state = load_initial_data(master, config.data_size,
+                              streams.stream("loader"))
+    heartbeat = HeartbeatPlugin(sim, master,
+                                interval=config.heartbeat_interval)
+    heartbeat.install()
+    slave_placement = config.location.slave_placement()
+    for _ in range(config.n_slaves):
+        manager.add_slave(slave_placement)
+    heartbeat.start()
+
+    # Idle baseline window for the relative-delay estimator.
+    sim.run(until=config.baseline_duration)
+    workload_start = sim.now
+
+    proxy = manager.build_proxy(MASTER_PLACEMENT)
+    pool = ConnectionPool(sim, max_active=config.pool_size
+                          or config.n_users)
+    generator = LoadGenerator(sim, proxy, pool, config.mix, state, streams,
+                              n_users=config.n_users,
+                              think_time_mean=config.think_time_mean,
+                              phases=config.phases)
+    generator.start()
+
+    # CPU utilization probes over the steady stage.
+    steady_start = workload_start + config.phases.steady_start
+    steady_end = workload_start + config.phases.steady_end
+    instances = [master.instance] + [s.instance for s in manager.slaves]
+    busy_at_start: dict[str, float] = {}
+    busy_at_end: dict[str, float] = {}
+
+    def cpu_probe(sim):
+        yield sim.timeout(steady_start - sim.now)
+        for instance in instances:
+            busy_at_start[instance.name] = instance.busy_time
+        yield sim.timeout(steady_end - sim.now)
+        for instance in instances:
+            busy_at_end[instance.name] = instance.busy_time
+
+    sim.process(cpu_probe(sim))
+    sim.run(until=workload_start + config.phases.total)
+    heartbeat.stop()
+
+    utilizations = {}
+    window = steady_end - steady_start
+    for instance in instances:
+        used = busy_at_end[instance.name] - busy_at_start[instance.name]
+        utilizations[instance.name] = min(
+            used / (window * instance.itype.cores), 1.0)
+
+    per_slave_delay: list[float] = []
+    heartbeat_counts: list[int] = []
+    for slave in manager.slaves:
+        baseline = collect_delays(heartbeat, slave, window_start=0.0,
+                                  window_end=workload_start)
+        loaded = collect_delays(heartbeat, slave,
+                                window_start=steady_start,
+                                window_end=steady_end)
+        heartbeat_counts.append(len(loaded))
+        if baseline and loaded:
+            per_slave_delay.append(
+                average_relative_delay_ms(loaded, baseline))
+        elif baseline:
+            # Every steady-stage heartbeat is still unapplied: the
+            # delay is at least the whole steady stage.
+            per_slave_delay.append(window * 1000.0)
+    relative_delay = (sum(per_slave_delay) / len(per_slave_delay)
+                      if per_slave_delay else None)
+
+    return ExperimentResult(
+        config=config,
+        throughput=generator.steady_throughput(),
+        achieved_read_fraction=generator.steady_read_write_ratio(),
+        mean_latency_s=generator.steady_mean_latency(),
+        master_cpu=utilizations[master.instance.name],
+        slave_cpus=[utilizations[s.instance.name]
+                    for s in manager.slaves],
+        relative_delay_ms=relative_delay,
+        per_slave_delay_ms=per_slave_delay,
+        heartbeat_counts=heartbeat_counts,
+        latency_percentiles_s=generator.steady_latency_percentiles(),
+    )

@@ -1,0 +1,100 @@
+"""Grid sweeps and saturation detection.
+
+The paper sweeps the number of concurrent users and the number of
+slaves "at a fixed step" and stops when "no more throughput can be
+obtained" (§III-B); the saturation *point* is "the point right after
+the observed maximum throughput of a number of slaves" (§IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..workloads.cloudstone import Phases
+from .config import ExperimentConfig, LocationConfig
+from .runner import ExperimentResult, run_experiment
+
+__all__ = ["SweepResult", "run_user_sweep", "run_grid",
+           "saturation_point", "max_throughput"]
+
+#: The paper's user grids: 50-200 step 25 at 50/50, 50-450 step 50 at
+#: 80/20.
+USERS_50_50 = tuple(range(50, 201, 25))
+USERS_80_20 = tuple(range(50, 451, 50))
+
+
+@dataclass
+class SweepResult:
+    """All cells of one (location, mix, n_slaves) user sweep."""
+
+    location: LocationConfig
+    mix_name: str
+    n_slaves: int
+    results: list[ExperimentResult] = field(default_factory=list)
+
+    @property
+    def users(self) -> list[int]:
+        return [r.config.n_users for r in self.results]
+
+    @property
+    def throughputs(self) -> list[float]:
+        return [r.throughput for r in self.results]
+
+    @property
+    def delays_ms(self) -> list[Optional[float]]:
+        return [r.relative_delay_ms for r in self.results]
+
+
+def run_user_sweep(make_config, location: LocationConfig, n_slaves: int,
+                   users: Sequence[int], phases: Phases,
+                   seed: int = 0, **overrides) -> SweepResult:
+    """Run one curve: fixed slave count, increasing users.
+
+    ``make_config`` is :func:`~repro.experiments.config.PAPER_50_50`
+    or :func:`PAPER_80_20` (or a compatible factory).
+    """
+    sweep = SweepResult(location, "", n_slaves)
+    for n_users in users:
+        config = make_config(location, n_slaves, n_users, phases,
+                             seed=seed, **overrides)
+        sweep.mix_name = config.mix.name
+        sweep.results.append(run_experiment(config))
+    return sweep
+
+
+def run_grid(make_config, location: LocationConfig,
+             slave_counts: Sequence[int], users: Sequence[int],
+             phases: Phases, seed: int = 0,
+             **overrides) -> list[SweepResult]:
+    """One sub-figure: a user sweep per slave count."""
+    return [run_user_sweep(make_config, location, n_slaves, users,
+                           phases, seed=seed, **overrides)
+            for n_slaves in slave_counts]
+
+
+def max_throughput(sweep: SweepResult) -> tuple[int, float]:
+    """(users, ops/s) at the observed maximum of one curve."""
+    best = max(sweep.results, key=lambda r: r.throughput)
+    return best.config.n_users, best.throughput
+
+
+def saturation_point(sweep: SweepResult,
+                     tolerance: float = 0.03) -> Optional[int]:
+    """The paper's saturation point: the user count right after the
+    observed maximum throughput — None when the curve is still rising
+    at the end of the sweep (no saturation observed).
+
+    ``tolerance`` treats near-flat growth as saturation, mirroring how
+    one reads a knee off the paper's plots.
+    """
+    throughputs = sweep.throughputs
+    users = sweep.users
+    best_index = max(range(len(throughputs)), key=throughputs.__getitem__)
+    if best_index == len(throughputs) - 1:
+        final_gain = (throughputs[-1] - throughputs[-2]) \
+            / max(throughputs[-2], 1e-9) if len(throughputs) > 1 else 1.0
+        if final_gain > tolerance:
+            return None
+        return users[-1]
+    return users[best_index + 1]

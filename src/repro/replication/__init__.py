@@ -1,0 +1,44 @@
+"""Master-slave replication middleware (the paper's database tier)."""
+
+from .cost import CostModel, DEFAULT_COST_MODEL
+from .failover import best_candidate, fail_master, promote
+from .heartbeat import (HEARTBEAT_DATABASE, HEARTBEAT_TABLE, HeartbeatPlugin,
+                        HeartbeatSample, average_relative_delay_ms,
+                        collect_delays)
+from .manager import ReplicationManager
+from .master import MasterServer
+from .messages import OrderedChannel
+from .monitor import (ClusterMonitor, ClusterSample, PressureSignals,
+                      SlaveSample, detect_pressure)
+from .pool import ConnectionPool, PooledConnection
+from .proxy import BALANCING_POLICIES, ReadWriteSplitProxy
+from .server import DatabaseServer
+from .slave import SlaveServer
+
+__all__ = [
+    "DatabaseServer",
+    "MasterServer",
+    "SlaveServer",
+    "ReplicationManager",
+    "ReadWriteSplitProxy",
+    "BALANCING_POLICIES",
+    "ConnectionPool",
+    "PooledConnection",
+    "OrderedChannel",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "fail_master",
+    "promote",
+    "best_candidate",
+    "ClusterMonitor",
+    "ClusterSample",
+    "SlaveSample",
+    "PressureSignals",
+    "detect_pressure",
+    "HeartbeatPlugin",
+    "HeartbeatSample",
+    "collect_delays",
+    "average_relative_delay_ms",
+    "HEARTBEAT_DATABASE",
+    "HEARTBEAT_TABLE",
+]

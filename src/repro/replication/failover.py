@@ -1,0 +1,112 @@
+"""Master failover: the flip side of the application-managed approach.
+
+The managed cloud offerings the paper contrasts against (§I) run "a
+replication architecture ... behind-the-scenes to enable automatic
+failover"; an application managing its own replicas must do this
+itself.  This module implements the classic MySQL procedure:
+
+1. the master fails (or is retired) — its dump threads die with it;
+2. the application picks the **most up-to-date slave** (highest
+   received binlog position), lets it drain its relay log, and
+   promotes it to master;
+3. every other slave is re-synchronized from the new master (snapshot
+   + binlog tail) and re-attached;
+4. the proxy is re-pointed.
+
+Asynchronous replication makes the data-loss window explicit: binlog
+events the failed master had committed but no slave had received are
+gone — exactly the §II caveat ("once the updated replica goes offline
+before duplicating data, data loss may occur").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..db.errors import DatabaseError
+from ..sim import Store
+from .manager import ReplicationManager
+from .master import MasterServer
+from .slave import SlaveServer
+
+__all__ = ["fail_master", "promote", "best_candidate"]
+
+
+def fail_master(manager: ReplicationManager) -> MasterServer:
+    """Kill the master: it stops serving and stops streaming.
+
+    Returns the dead master (tests inspect its binlog to measure the
+    data-loss window).
+    """
+    master = manager.master
+    if master is None:
+        raise DatabaseError("cluster has no master to fail")
+    master.online = False
+    for slave in list(master.slaves):
+        master.detach_slave(slave)
+    return master
+
+
+def best_candidate(manager: ReplicationManager) -> SlaveServer:
+    """The slave holding the longest binlog prefix (received, not
+    necessarily applied — the relay log is durable)."""
+    if not manager.slaves:
+        raise DatabaseError("no slave available for promotion")
+    return max(manager.slaves,
+               key=lambda s: (s.received_position, s.name))
+
+
+def promote(manager: ReplicationManager,
+            candidate: Optional[SlaveServer] = None,
+            drain_poll: float = 0.05):
+    """Process generator: fail over to ``candidate`` (default: best).
+
+    Usage::
+
+        new_master = yield from promote(manager)
+
+    The old master must already be offline (see :func:`fail_master`).
+    """
+    old_master = manager.master
+    if old_master is not None and old_master.online:
+        raise DatabaseError("refusing to promote while the master is "
+                            "online; call fail_master first")
+    if candidate is None:
+        candidate = best_candidate(manager)
+    if candidate not in manager.slaves:
+        raise DatabaseError(f"{candidate.name!r} is not in this cluster")
+
+    # 1. Drain: apply everything already received into the relay log.
+    while candidate.relay_backlog > 0:
+        yield manager.sim.timeout(drain_poll)
+    candidate.stop_replication()
+
+    # 2. Rebrand the candidate's instance+data as the new master.
+    new_master = MasterServer(
+        manager.sim, candidate.instance, cost_model=manager.cost_model,
+        default_database=manager.default_database,
+        semi_sync=manager.semi_sync,
+        binlog_format=manager.binlog_format)
+    new_master.engine.binlog_format = manager.binlog_format
+    new_master.engine = candidate.engine
+    new_master.engine.commit_listener = new_master._on_commit
+    new_master.engine.binlog_format = manager.binlog_format
+    candidate.online = False  # the old slave identity is retired
+
+    # 3. Re-sync and re-attach the remaining slaves.
+    survivors = [s for s in manager.slaves if s is not candidate]
+    manager.master = new_master
+    manager.slaves = []
+    for slave in survivors:
+        slave.stop_replication()
+        # Fresh relay log: discards both the dead master's undelivered
+        # events and the interrupted SQL thread's stale getter.
+        slave.relay_log = Store(manager.sim)
+        slave.engine.restore(new_master.engine.snapshot())
+        slave.start_position = new_master.binlog.head_position
+        slave.applied_position = slave.start_position
+        slave.received_position = slave.start_position
+        slave._sql_thread_process = None
+        new_master.attach_slave(slave, manager.cloud.network)
+        manager.slaves.append(slave)
+    return new_master

@@ -1,0 +1,158 @@
+"""The application-managed replication controller.
+
+This is the "application-managed approach" of the paper's title: the
+application itself provisions database VMs, wires up the master-slave
+topology, and can grow or shrink the slave pool at runtime.  The
+manager owns the full lifecycle:
+
+* launch a master on a small instance (saturation observed early, as
+  in the paper's setup) and start aggressive NTP on it;
+* add a slave: launch the VM, take a master snapshot + binlog position
+  (the paper's "pre-loaded, fully-synchronized database"), restore it,
+  and attach the slave to the master's dump thread;
+* remove a slave, detach and terminate;
+* verify convergence: wait until every slave applied the binlog head,
+  then compare table checksums (the heartbeat table is excluded — its
+  timestamp column diverges *by design*, since every replica commits
+  its own local clock reading).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..cloud.instance import InstanceType, SMALL
+from ..cloud.provisioner import Cloud
+from ..cloud.regions import Placement
+from ..sim import Simulator
+from .cost import CostModel, DEFAULT_COST_MODEL
+from .heartbeat import HEARTBEAT_DATABASE
+from .master import MasterServer
+from .proxy import ReadWriteSplitProxy
+from .slave import SlaveServer
+
+__all__ = ["ReplicationManager"]
+
+
+class ReplicationManager:
+    """Builds and operates one master-slave cluster on the cloud."""
+
+    def __init__(self, sim: Simulator, cloud: Cloud,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 default_database: str = "cloudstone",
+                 ntp_period: Optional[float] = 1.0,
+                 semi_sync: bool = False,
+                 binlog_format: str = "statement"):
+        self.sim = sim
+        self.cloud = cloud
+        self.cost_model = cost_model
+        self.default_database = default_database
+        self.ntp_period = ntp_period
+        self.semi_sync = semi_sync
+        self.binlog_format = binlog_format
+        self.master: Optional[MasterServer] = None
+        self.slaves: list[SlaveServer] = []
+
+    # -- provisioning ----------------------------------------------------------
+    def create_master(self, placement: Placement,
+                      itype: InstanceType = SMALL,
+                      name: str = "master") -> MasterServer:
+        if self.master is not None:
+            raise RuntimeError("cluster already has a master")
+        instance = self.cloud.launch(itype, placement, name=name)
+        if self.ntp_period is not None:
+            self.cloud.start_ntp(instance, period=self.ntp_period)
+        self.master = MasterServer(
+            self.sim, instance, cost_model=self.cost_model,
+            default_database=self.default_database,
+            semi_sync=self.semi_sync,
+            binlog_format=self.binlog_format)
+        self.master.admin(f"CREATE DATABASE IF NOT EXISTS "
+                          f"{self.default_database}")
+        return self.master
+
+    def add_slave(self, placement: Placement,
+                  itype: InstanceType = SMALL,
+                  name: Optional[str] = None) -> SlaveServer:
+        """Provision a slave, sync it from the master, start replicating.
+
+        Safe to call at runtime (the elasticity feature of the
+        application-managed approach): the snapshot and the binlog
+        position are taken at the same instant, so no event is lost or
+        applied twice.
+        """
+        if self.master is None:
+            raise RuntimeError("create the master before adding slaves")
+        if name is None:
+            name = f"slave-{len(self.slaves) + 1}"
+        instance = self.cloud.launch(itype, placement, name=name)
+        if self.ntp_period is not None:
+            self.cloud.start_ntp(instance, period=self.ntp_period)
+        slave = SlaveServer(self.sim, instance, cost_model=self.cost_model,
+                            default_database=self.default_database)
+        slave.engine.restore(self.master.engine.snapshot())
+        slave.start_position = self.master.binlog.head_position
+        slave.applied_position = slave.start_position
+        self.master.attach_slave(slave, self.cloud.network)
+        self.slaves.append(slave)
+        return slave
+
+    def remove_slave(self, slave: SlaveServer) -> None:
+        if slave not in self.slaves:
+            raise ValueError(f"{slave.name!r} is not part of this cluster")
+        self.master.detach_slave(slave)
+        self.slaves.remove(slave)
+        self.cloud.terminate(slave.instance)
+
+    def build_proxy(self, client_placement: Placement,
+                    policy: str = "round_robin",
+                    rng: Optional[np.random.Generator] = None
+                    ) -> ReadWriteSplitProxy:
+        """The client-side read/write-splitting proxy for this cluster."""
+        if self.master is None:
+            raise RuntimeError("cluster has no master")
+        return ReadWriteSplitProxy(self.cloud.network, self.master,
+                                   self.slaves, client_placement,
+                                   policy=policy, rng=rng)
+
+    # -- convergence -------------------------------------------------------------
+    def all_caught_up(self) -> bool:
+        head = self.master.binlog.head_position
+        return all(s.applied_position >= head for s in self.slaves)
+
+    def wait_until_caught_up(self, poll: float = 0.05,
+                             timeout: Optional[float] = None):
+        """Process generator: block until every slave applied the head.
+
+        Returns True, or False if ``timeout`` simulated seconds elapse
+        first.  Only meaningful while no new writes are arriving.
+        """
+        deadline = None if timeout is None else self.sim.now + timeout
+        while not self.all_caught_up():
+            if deadline is not None and self.sim.now >= deadline:
+                return False
+            yield self.sim.timeout(poll)
+        return True
+
+    def data_checksum(self, server,
+                      exclude_databases: tuple = (HEARTBEAT_DATABASE,)
+                      ) -> tuple:
+        """Checksum of a server's tables, excluding diverging-by-design
+        databases (the heartbeat timestamps differ per replica)."""
+        names = sorted(
+            name for name in server.engine.tables
+            if name.split(".", 1)[0] not in exclude_databases)
+        return tuple((name, server.engine.tables[name].checksum_state())
+                     for name in names)
+
+    def verify_consistency(self) -> bool:
+        """True when every slave's data equals the master's.
+
+        Call after :meth:`wait_until_caught_up`; under active load the
+        replicas are *eventually* consistent only.
+        """
+        reference = self.data_checksum(self.master)
+        return all(self.data_checksum(slave) == reference
+                   for slave in self.slaves)

@@ -1,0 +1,70 @@
+"""Replication wire plumbing.
+
+:class:`OrderedChannel` models one TCP connection between a master's
+binlog-dump thread and a slave's IO thread: messages experience sampled
+network latency but are delivered **in send order** (a later message is
+never delivered before an earlier one), and sends pipeline — the sender
+does not wait for acknowledgements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..cloud.network import Network
+from ..cloud.regions import Placement
+
+__all__ = ["OrderedChannel"]
+
+
+class OrderedChannel:
+    """FIFO, pipelined message delivery between two placements."""
+
+    def __init__(self, network: Network, src: Placement, dst: Placement,
+                 on_delivery: Callable[[Any], None]):
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.on_delivery = on_delivery
+        self._last_delivery_at = 0.0
+        self._held: list[tuple[Any, int]] = []
+        self.messages_sent = 0
+
+    def send(self, payload: Any, size_bytes: int = 0) -> float:
+        """Send ``payload``; returns its (estimated) delivery time.
+
+        The delivery time is ``now + sampled latency`` but never before
+        the previously sent message's delivery (TCP ordering).  During
+        a network partition the message is held — the connection keeps
+        retransmitting — and flushed in order once the link heals.
+        """
+        if self.network.is_partitioned(self.src, self.dst) or self._held:
+            if not self._held:
+                self.network.when_healed(self.src, self.dst).callbacks \
+                    .append(self._flush_held)
+            self._held.append((payload, size_bytes))
+            return float("inf")
+        return self._dispatch(payload, size_bytes)
+
+    def _dispatch(self, payload: Any, size_bytes: int) -> float:
+        sim = self.network.sim
+        latency = self.network.sample_one_way(self.src, self.dst)
+        deliver_at = max(sim.now + latency, self._last_delivery_at)
+        self._last_delivery_at = deliver_at
+        self.network.messages_sent += 1
+        self.network.bytes_sent += size_bytes
+        delay = deliver_at - sim.now
+        sim.timeout(delay, value=payload).callbacks.append(
+            lambda ev: self.on_delivery(ev.value))
+        self.messages_sent += 1
+        return deliver_at
+
+    def _flush_held(self, _healed) -> None:
+        if self.network.is_partitioned(self.src, self.dst):
+            # Partitioned again before the flush ran; wait once more.
+            self.network.when_healed(self.src, self.dst).callbacks \
+                .append(self._flush_held)
+            return
+        held, self._held = self._held, []
+        for payload, size_bytes in held:
+            self._dispatch(payload, size_bytes)

@@ -1,0 +1,164 @@
+"""Cluster telemetry: what an application managing its own replicas
+has to watch.
+
+The paper's conclusion is a list of operational hazards — master write
+saturation, slave CPU contention starving the apply thread, delay
+blowing up with workload, instance performance variation.  A real
+application-managed deployment needs continuous visibility into all of
+them; :class:`ClusterMonitor` samples the cluster on a fixed period
+and keeps bounded history, and :func:`detect_pressure` turns a sample
+into the signals an autoscaler (see ``examples/elastic_scaling.py``)
+acts on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim import Simulator
+from .manager import ReplicationManager
+
+__all__ = ["SlaveSample", "ClusterSample", "PressureSignals",
+           "ClusterMonitor", "detect_pressure"]
+
+
+@dataclass(frozen=True)
+class SlaveSample:
+    """One slave's state at a sampling instant."""
+
+    name: str
+    relay_backlog: int
+    cpu_queue: int
+    cpu_utilization: float
+    applied_position: int
+    seconds_behind: float
+
+
+@dataclass(frozen=True)
+class ClusterSample:
+    """The whole tier at a sampling instant."""
+
+    time: float
+    master_cpu_utilization: float
+    master_cpu_queue: int
+    binlog_head: int
+    slaves: tuple[SlaveSample, ...]
+
+    @property
+    def worst_backlog(self) -> int:
+        return max((s.relay_backlog for s in self.slaves), default=0)
+
+    @property
+    def worst_seconds_behind(self) -> float:
+        return max((s.seconds_behind for s in self.slaves), default=0.0)
+
+    @property
+    def max_slave_utilization(self) -> float:
+        return max((s.cpu_utilization for s in self.slaves), default=0.0)
+
+
+@dataclass(frozen=True)
+class PressureSignals:
+    """Boiled-down scaling signals."""
+
+    slaves_overloaded: bool
+    master_overloaded: bool
+    replication_lagging: bool
+
+    @property
+    def scale_out_helps(self) -> bool:
+        """Adding a slave relieves slave-side pressure — but not a
+        saturated master (the paper's central scaling limit)."""
+        return (self.slaves_overloaded or self.replication_lagging) \
+            and not self.master_overloaded
+
+
+class ClusterMonitor:
+    """Periodically samples a cluster; keeps bounded history."""
+
+    def __init__(self, sim: Simulator, manager: ReplicationManager,
+                 period: float = 10.0, history: int = 360):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.sim = sim
+        self.manager = manager
+        self.period = period
+        self.samples: deque[ClusterSample] = deque(maxlen=history)
+        self._last_busy: dict[str, tuple[float, float]] = {}
+        self._process = None
+
+    def start(self) -> None:
+        if self._process is not None:
+            raise RuntimeError("monitor already started")
+        self._process = self.sim.process(self._run(), name="monitor")
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("stopped")
+        self._process = None
+
+    def _utilization(self, instance) -> float:
+        """Utilization since the previous sample of this instance."""
+        now, busy = self.sim.now, instance.busy_time
+        previous = self._last_busy.get(instance.name)
+        self._last_busy[instance.name] = (now, busy)
+        if previous is None:
+            return 0.0
+        then, busy_then = previous
+        elapsed = now - then
+        if elapsed <= 0:
+            return 0.0
+        return min((busy - busy_then) / (elapsed * instance.itype.cores),
+                   1.0)
+
+    def sample_now(self) -> ClusterSample:
+        """Take (and record) one sample immediately."""
+        master = self.manager.master
+        slaves = tuple(
+            SlaveSample(
+                name=slave.name,
+                relay_backlog=slave.relay_backlog,
+                cpu_queue=slave.cpu_queue_length(),
+                cpu_utilization=self._utilization(slave.instance),
+                applied_position=slave.applied_position,
+                seconds_behind=slave.seconds_behind_master(),
+            )
+            for slave in self.manager.slaves)
+        sample = ClusterSample(
+            time=self.sim.now,
+            master_cpu_utilization=self._utilization(master.instance),
+            master_cpu_queue=master.cpu_queue_length(),
+            binlog_head=master.binlog.head_position,
+            slaves=slaves)
+        self.samples.append(sample)
+        return sample
+
+    def _run(self):
+        from ..sim import Interrupt
+        try:
+            while True:
+                yield self.sim.timeout(self.period)
+                self.sample_now()
+        except Interrupt:
+            return
+
+    @property
+    def latest(self) -> Optional[ClusterSample]:
+        return self.samples[-1] if self.samples else None
+
+
+def detect_pressure(sample: ClusterSample,
+                    cpu_threshold: float = 0.90,
+                    backlog_threshold: int = 20,
+                    lag_threshold_s: float = 2.0) -> PressureSignals:
+    """Classify a sample into scaling signals."""
+    return PressureSignals(
+        slaves_overloaded=sample.max_slave_utilization >= cpu_threshold
+        or any(s.cpu_queue > 10 for s in sample.slaves),
+        master_overloaded=sample.master_cpu_utilization >= cpu_threshold
+        and sample.master_cpu_queue > 5,
+        replication_lagging=sample.worst_backlog > backlog_threshold
+        or sample.worst_seconds_behind > lag_threshold_s,
+    )

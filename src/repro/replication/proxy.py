@@ -1,0 +1,155 @@
+"""Read/write-splitting proxy (the MySQL Connector/J stand-in).
+
+The paper's client stack sends **all write operations to the master**
+and **distributes all read operations among the slaves**.  The proxy
+implements that routing plus the client-side network round trip: a
+statement executed through the proxy pays one-way latency from the
+client to the chosen server, queues for the server's CPU, and pays the
+return latency.
+
+Balancing policies:
+
+* ``round_robin`` — Connector/J's default for read replicas (used in
+  the paper's experiments);
+* ``random`` — uniform choice;
+* ``least_outstanding`` — route to the slave with the fewest in-flight
+  operations; an implementation of the "smart load balancer" the paper
+  suggests in §IV-B.2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Union
+
+import numpy as np
+
+from ..cloud.network import Network
+from ..cloud.regions import Placement
+from ..db.engine import ExecutionResult
+from ..sql.ast import Statement
+from ..sql.parser import parse
+from .master import MasterServer
+from .server import DatabaseServer
+from .slave import SlaveServer
+
+__all__ = ["ReadWriteSplitProxy", "BALANCING_POLICIES"]
+
+BALANCING_POLICIES = ("round_robin", "random", "least_outstanding")
+
+
+class ReadWriteSplitProxy:
+    """Routes writes to the master and balances reads over slaves."""
+
+    def __init__(self, network: Network, master: MasterServer,
+                 slaves: Sequence[SlaveServer],
+                 client_placement: Placement,
+                 policy: str = "round_robin",
+                 rng: Optional[np.random.Generator] = None,
+                 read_your_writes_window: float = 0.0):
+        if policy not in BALANCING_POLICIES:
+            raise ValueError(f"unknown balancing policy {policy!r}; "
+                             f"choose from {BALANCING_POLICIES}")
+        if policy == "random" and rng is None:
+            raise ValueError("random policy requires an rng")
+        if read_your_writes_window < 0:
+            raise ValueError("read_your_writes_window must be >= 0")
+        self.network = network
+        self.master = master
+        self.slaves = list(slaves)
+        self.client_placement = client_placement
+        self.policy = policy
+        self.rng = rng
+        #: Seconds after a session's write during which that session's
+        #: reads stick to the master — a standard mitigation for the
+        #: asynchronous-replication staleness the paper characterizes.
+        #: 0.0 (the paper's configuration) disables it.
+        self.read_your_writes_window = read_your_writes_window
+        self._last_write_at: dict = {}
+        self._cursor = 0
+        self._outstanding: dict[str, int] = {}
+        self.reads_routed = 0
+        self.writes_routed = 0
+        self.sticky_reads = 0
+
+    # -- routing ------------------------------------------------------------
+    def note_write(self, session) -> None:
+        """Record that ``session`` just wrote (for read-your-writes)."""
+        if session is not None and self.read_your_writes_window > 0:
+            self._last_write_at[session] = self.network.sim.now
+
+    def route(self, statement: Statement,
+              session=None) -> DatabaseServer:
+        """Pick the server a statement should run on."""
+        if statement.is_write or statement.is_transaction_control:
+            self.writes_routed += 1
+            self.note_write(session)
+            return self.master
+        return self.pick_read_server(session=session)
+
+    def _session_is_sticky(self, session) -> bool:
+        if session is None or self.read_your_writes_window <= 0:
+            return False
+        last_write = self._last_write_at.get(session)
+        return last_write is not None and \
+            self.network.sim.now - last_write < self.read_your_writes_window
+
+    def pick_read_server(self, session=None) -> DatabaseServer:
+        """Balance a read over the slaves (master if there are none).
+
+        Multi-statement read operations call this once and pin every
+        statement to the chosen replica for session consistency.  A
+        session inside its read-your-writes window reads the master.
+        """
+        if self._session_is_sticky(session):
+            self.reads_routed += 1
+            self.sticky_reads += 1
+            return self.master
+        if not self.slaves:
+            # Degenerate cluster: master serves reads too.
+            self.reads_routed += 1
+            return self.master
+        self.reads_routed += 1
+        if self.policy == "round_robin":
+            slave = self.slaves[self._cursor % len(self.slaves)]
+            self._cursor += 1
+            return slave
+        if self.policy == "random":
+            return self.slaves[int(self.rng.integers(len(self.slaves)))]
+        return min(self.slaves,
+                   key=lambda s: (self._outstanding.get(s.name, 0),
+                                  s.name))
+
+    # -- execution ------------------------------------------------------------
+    def execute(self, statement: Union[str, Statement],
+                params: Optional[Sequence[Any]] = None,
+                server: Optional[DatabaseServer] = None):
+        """Process generator: run one statement through the proxy.
+
+        Usage: ``result = yield from proxy.execute(sql)``.
+        Pass ``server`` to pin the statement (used for multi-statement
+        operations that must stay on one replica).
+        """
+        if isinstance(statement, str):
+            statement = parse(statement)
+        target = server if server is not None else self.route(statement)
+        self._outstanding[target.name] = \
+            self._outstanding.get(target.name, 0) + 1
+        try:
+            yield self.network.send(self.client_placement, target.placement)
+            result: ExecutionResult = yield from target.perform(
+                statement, params)
+            yield self.network.send(target.placement, self.client_placement)
+        finally:
+            self._outstanding[target.name] -= 1
+        return result
+
+    def set_master(self, master: MasterServer) -> None:
+        """Re-point writes after a failover promotion."""
+        self.master = master
+        self.slaves = [s for s in self.slaves if s.online]
+
+    def add_slave(self, slave: SlaveServer) -> None:
+        self.slaves.append(slave)
+
+    def remove_slave(self, slave: SlaveServer) -> None:
+        self.slaves = [s for s in self.slaves if s is not slave]

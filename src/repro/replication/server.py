@@ -1,0 +1,119 @@
+"""The database server: storage engine + instance CPU + cost model.
+
+A :class:`DatabaseServer` binds a :class:`~repro.db.StorageEngine` to a
+simulated :class:`~repro.cloud.Instance`.  Statement execution has two
+phases: the engine runs the statement (logically instantaneous), then
+the server holds a CPU core for the cost-model work — which is where
+queueing, saturation and all the paper's performance phenomena arise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional, Sequence, Union
+
+import numpy as np
+
+from ..cloud.instance import Instance
+from ..cloud.regions import Placement
+from ..db.engine import ExecutionResult, StorageEngine
+from ..db.errors import DatabaseError
+from ..db.functions import standard_functions
+from ..sim import Simulator
+from ..sql.ast import Statement
+from ..sql.parser import parse
+from .cost import CostModel, DEFAULT_COST_MODEL
+
+__all__ = ["DatabaseServer"]
+
+_server_ids = itertools.count(1)
+
+
+class DatabaseServer:
+    """A MySQL-like server process on one instance."""
+
+    def __init__(self, sim: Simulator, instance: Instance,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 default_database: str = "cloudstone",
+                 server_id: Optional[int] = None,
+                 read_only: bool = False,
+                 rng: Optional[np.random.Generator] = None):
+        self.sim = sim
+        self.instance = instance
+        self.cost_model = cost_model
+        self.server_id = server_id if server_id is not None \
+            else next(_server_ids)
+        self.read_only = read_only
+        rand = (lambda: float(rng.random())) if rng is not None else None
+        self.engine = StorageEngine(
+            functions=standard_functions(instance.clock.now, rand=rand),
+            default_database=default_database)
+        self.queries_served = 0
+        self.writes_served = 0
+        #: False once the server has failed or been retired; client
+        #: statements are rejected (connection refused).
+        self.online = True
+
+    @property
+    def name(self) -> str:
+        return self.instance.name
+
+    @property
+    def placement(self) -> Placement:
+        return self.instance.placement
+
+    @property
+    def clock(self):
+        return self.instance.clock
+
+    # -- client path ---------------------------------------------------------
+    def perform(self, statement: Union[str, Statement],
+                params: Optional[Sequence[Any]] = None):
+        """Process generator: execute a client statement, charging CPU.
+
+        The statement queues for a core and executes at service start,
+        so its effects (including binlog appends on a master) become
+        visible only after earlier requests were served — faithful
+        queueing semantics.
+
+        Usage: ``result = yield from server.perform(sql)``.
+        """
+        if isinstance(statement, str):
+            statement = parse(statement)
+        if not self.online:
+            raise DatabaseError(f"server {self.name!r} is offline")
+        if self.read_only and statement.is_write:
+            raise DatabaseError(
+                f"server {self.name!r} is read-only (a replication "
+                f"slave); writes must go to the master")
+
+        def job():
+            result = self.engine.execute(statement, params)
+            return result, self.cost_model.work_for(result.profile)
+
+        result = yield from self.instance.run_on_cpu(job)
+        self.queries_served += 1
+        if statement.is_write:
+            self.writes_served += 1
+        return result
+
+    # -- administrative path (no CPU accounting) -----------------------------
+    def admin(self, statement: Union[str, Statement],
+              params: Optional[Sequence[Any]] = None,
+              database: Optional[str] = None) -> ExecutionResult:
+        """Execute without charging CPU — setup, loading, inspection.
+
+        The paper's runs start "with a pre-loaded, fully-synchronized
+        database"; the loader uses this path so ramp-up measurements
+        are not polluted by bulk-load CPU.
+        """
+        return self.engine.execute(statement, params, database=database)
+
+    # -- introspection ----------------------------------------------------------
+    def cpu_queue_length(self) -> int:
+        return self.instance.queue_length
+
+    def __repr__(self) -> str:
+        role = "slave" if self.read_only else "server"
+        return f"<{type(self).__name__} {self.name} ({role}) " \
+               f"at {self.placement.zone}>"

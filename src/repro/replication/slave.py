@@ -1,0 +1,132 @@
+"""The replication slave.
+
+A slave runs two replication threads, exactly like MySQL:
+
+* the **IO thread** receives binlog events from the master's dump
+  thread and appends them to the relay log (modelled as the ordered
+  channel's delivery callback — its CPU cost is negligible next to
+  statement execution);
+* the **SQL thread** pops relay-log events one at a time, re-executes
+  the statement text against the local engine (evaluating
+  non-deterministic functions such as ``USEC_NOW()`` on the *local*
+  clock — the paper's heartbeat measurement mechanism) and charges the
+  apply cost to the local CPU.
+
+The SQL thread is single-threaded and shares the instance CPU with
+client read queries: under read pressure the relay log backs up and
+replication delay grows — the central dynamic behind the paper's
+Figs. 5 and 6.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..cloud.network import Network
+from ..db.binlog import BinlogEvent
+from ..sim import Store
+from .server import DatabaseServer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .master import MasterServer
+
+__all__ = ["SlaveServer"]
+
+
+class SlaveServer(DatabaseServer):
+    """A read-only replica applying the master's binlog."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, read_only=True, **kwargs)
+        self.relay_log: Store = Store(self.sim)
+        self.start_position = 0
+        self.applied_position = 0
+        self.received_position = 0
+        self.events_applied = 0
+        self.events_dropped = 0
+        self.bytes_received = 0
+        self._master: Optional["MasterServer"] = None
+        self._network: Optional[Network] = None
+        self._sql_thread_process = None
+
+    def connect_to_master(self, master: "MasterServer",
+                          network: Network) -> None:
+        """Called by MasterServer.attach_slave; starts the SQL thread."""
+        self._master = master
+        self._network = network
+        if self._sql_thread_process is None:
+            self._sql_thread_process = self.sim.process(
+                self._sql_thread(), name=f"sql-thread:{self.name}")
+
+    def stop_replication(self) -> None:
+        """Kill the SQL thread (promotion or decommissioning)."""
+        self._master = None
+        if self._sql_thread_process is not None \
+                and self._sql_thread_process.is_alive:
+            self._sql_thread_process.interrupt("stopped")
+        self._sql_thread_process = None
+
+    # -- IO thread ----------------------------------------------------------
+    def receive_event(self, event: BinlogEvent) -> None:
+        """Delivery callback of the replication channel (IO thread).
+
+        Events from a server that is no longer this slave's master
+        (in-flight deliveries racing a failover) are dropped.
+        """
+        master = self._master
+        if master is None or event.server_id != master.server_id:
+            self.events_dropped += 1
+            return
+        self.relay_log.put(event)
+        self.received_position = event.position
+        self.bytes_received += event.size_bytes
+        if master.semi_sync:
+            self._network.send(
+                self.placement, master.placement, event.position,
+                on_delivery=master.acknowledge)
+
+    # -- SQL thread -----------------------------------------------------------
+    def _sql_thread(self):
+        from ..sim import Interrupt
+        from ..db.rowevents import apply_row_ops
+        try:
+            while True:
+                event: BinlogEvent = yield self.relay_log.get()
+
+                def apply_job(event=event):
+                    # Runs when the SQL thread reaches a core: read
+                    # queries queued ahead of it still see the
+                    # pre-apply state (replication staleness).
+                    if event.row_ops is not None:
+                        affected = apply_row_ops(self.engine,
+                                                 event.row_ops)
+                        return None, self.cost_model.row_apply_work(
+                            affected)
+                    result = self.engine.execute(
+                        event.statement, database=event.database)
+                    return None, self.cost_model.apply_work_for(
+                        result.profile)
+
+                yield from self.instance.run_on_cpu(apply_job)
+                self.applied_position = event.position
+                self.events_applied += 1
+        except Interrupt:
+            return
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def relay_backlog(self) -> int:
+        """Events received but not yet applied."""
+        return len(self.relay_log)
+
+    def seconds_behind_master(self) -> float:
+        """True replication lag in simulated seconds (oracle metric).
+
+        The paper cannot observe this directly — it estimates delay via
+        heartbeats and relative-delay subtraction; this oracle exists
+        so tests can validate the estimator.
+        """
+        if self.relay_log.items:
+            oldest: BinlogEvent = self.relay_log.items[0]
+            return self.sim.now - oldest.commit_simtime
+        return 0.0

@@ -1,0 +1,393 @@
+"""Discrete-event simulation kernel.
+
+This module provides the event loop that every other subsystem of the
+reproduction runs on: the simulated EC2 instances, the network, the
+database servers, the replication threads and the emulated Cloudstone
+users are all processes scheduled by a :class:`Simulator`.
+
+The design follows the classic generator-based style (as popularized by
+SimPy): a *process* is a Python generator that yields :class:`Event`
+objects; the kernel resumes the generator when the yielded event fires.
+Only the small subset of primitives needed by this project is
+implemented, which keeps the kernel easy to reason about and to test
+exhaustively.
+
+Time is a ``float`` number of **seconds** since the start of the
+simulation.  All components agree on this unit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "Process",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* when :meth:`succeed`
+    or :meth:`fail` is called (directly or via the scheduler), and then
+    invokes its callbacks exactly once.  Processes wait on events by
+    yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has fired (successfully or not)."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event fired via :meth:`succeed`."""
+        if not self._triggered:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with."""
+        if not self._triggered:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event successfully, delivering ``value`` to waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._post(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Fire the event with an exception, re-raised in waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._post(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel will not re-raise
+        it at the top level when nobody waited on it."""
+        self._defused = True
+
+    # -- composition --------------------------------------------------------
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.sim, [self, other])
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.sim, [self, other])
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._n_fired = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.triggered:
+                self._child_fired(event)
+            elif event.callbacks is not None:
+                event.callbacks.append(self._child_fired)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e._value for e in self.events if e.triggered and e._ok}
+
+    def _child_fired(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._n_fired += 1
+        if self._done():
+            self.succeed(self._collect())
+
+    def _done(self) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any child event fires."""
+
+    __slots__ = ()
+
+    def _done(self) -> bool:
+        return self._n_fired >= 1
+
+
+class AllOf(_Condition):
+    """Fires when all child events have fired."""
+
+    __slots__ = ()
+
+    def _done(self) -> bool:
+        return self._n_fired >= len(self.events)
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running process; also an event that fires when the process ends.
+
+    The wrapped generator yields :class:`Event` instances.  When a
+    yielded event fires the generator is resumed with the event's value
+    (or the event's exception is thrown into it).
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: Optional[str] = None):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process via an immediately-scheduled init event.
+        init = Event(sim)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is waiting on an event detaches it from that event.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt dead process {self.name}")
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        hurler = Event(self.sim)
+        hurler.callbacks.append(
+            lambda _ev: self._step(Interrupt(cause), as_exception=True))
+        hurler.succeed()
+
+    # -- internal ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._ok:
+            self._step(event._value, as_exception=False)
+        else:
+            event.defuse()
+            self._step(event._value, as_exception=True)
+
+    def _step(self, value: Any, as_exception: bool) -> None:
+        if self._triggered:
+            return  # already finished (e.g. interrupt raced completion)
+        self.sim._active_process = self
+        try:
+            if as_exception:
+                target = self.generator.throw(value)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded {target!r}, not an Event")
+            self.generator.close()
+            self.fail(exc)
+            return
+        if target.callbacks is None:
+            # Already processed: resume immediately via a fresh event so
+            # ordering stays deterministic.
+            relay = Event(self.sim)
+            relay.callbacks.append(self._resume)
+            if target._ok:
+                relay.succeed(target._value)
+            else:
+                target.defuse()
+                relay.fail(target._value)
+            self._waiting_on = relay
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(5.0)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert sim.now == 5.0 and proc.value == "done"
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories -----------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event; fire it with ``succeed``/``fail``."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: Optional[str] = None) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._heap, (self._now + delay, next(self._counter), event))
+
+    def _post(self, event: Event) -> None:
+        """Schedule a just-triggered event's callbacks to run now."""
+        heapq.heappush(self._heap, (self._now, next(self._counter), event))
+
+    # -- running ----------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event; raises IndexError when empty."""
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        if not event._triggered:
+            # A scheduled Timeout reaching the head of the heap fires now.
+            event._triggered = True
+            event._ok = True
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event queue is empty or ``until`` is reached.
+
+        When ``until`` is given, the clock is advanced exactly to
+        ``until`` even if the last event fires earlier.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until {until!r}: clock already at {self._now!r}")
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when empty."""
+        return self._heap[0][0] if self._heap else float("inf")

@@ -1,0 +1,23 @@
+"""SQL front end: lexer, parser, AST, expression evaluation, rendering."""
+
+from . import ast
+from .expressions import EvalContext, EvaluationError, evaluate, like_match
+from .lexer import LexerError, tokenize
+from .parser import ParseError, parse, parse_many
+from .render import render_expression, render_literal, render_statement
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "LexerError",
+    "parse",
+    "parse_many",
+    "ParseError",
+    "evaluate",
+    "EvalContext",
+    "EvaluationError",
+    "like_match",
+    "render_statement",
+    "render_expression",
+    "render_literal",
+]

@@ -1,0 +1,153 @@
+"""Hand-written SQL lexer."""
+
+from __future__ import annotations
+
+from .tokens import KEYWORDS, Token, TokenType
+
+__all__ = ["LexerError", "tokenize"]
+
+_OPERATOR_STARTS = "<>=!+-*/%"
+_TWO_CHAR_OPERATORS = frozenset(("<=", ">=", "<>", "!=", "=="))
+
+
+class LexerError(ValueError):
+    """Raised on malformed SQL text."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex ``text`` into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'" or ch == '"':
+            string_value, i = _read_string(text, i)
+            tokens.append(Token(TokenType.STRING, string_value, i))
+            continue
+        if ch == "`":
+            end = text.find("`", i + 1)
+            if end < 0:
+                raise LexerError("unterminated quoted identifier", i)
+            tokens.append(Token(TokenType.IDENTIFIER,
+                                text[i + 1:end].lower(), i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            number, i = _read_number(text, i)
+            tokens.append(Token(TokenType.NUMBER, number, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            word, i = _read_word(text, i)
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word.lower(), i))
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenType.COMMA, ",", i))
+            i += 1
+            continue
+        if ch == ".":
+            tokens.append(Token(TokenType.DOT, ".", i))
+            i += 1
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", i))
+            i += 1
+            continue
+        if ch == ";":
+            tokens.append(Token(TokenType.SEMICOLON, ";", i))
+            i += 1
+            continue
+        if ch == "?":
+            tokens.append(Token(TokenType.PARAM, "?", i))
+            i += 1
+            continue
+        if ch == "*":
+            tokens.append(Token(TokenType.STAR, "*", i))
+            i += 1
+            continue
+        if ch in _OPERATOR_STARTS:
+            pair = text[i:i + 2]
+            if pair in _TWO_CHAR_OPERATORS:
+                tokens.append(Token(TokenType.OPERATOR, pair, i))
+                i += 2
+            else:
+                tokens.append(Token(TokenType.OPERATOR, ch, i))
+                i += 1
+            continue
+        raise LexerError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> tuple[str, int]:
+    quote = text[start]
+    parts: list[str] = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and i + 1 < n:
+            escaped = text[i + 1]
+            parts.append({"n": "\n", "t": "\t", "\\": "\\",
+                          "'": "'", '"': '"'}.get(escaped, escaped))
+            i += 2
+            continue
+        if ch == quote:
+            # Doubled quote escapes itself ('' -> ').
+            if i + 1 < n and text[i + 1] == quote:
+                parts.append(quote)
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise LexerError("unterminated string literal", start)
+
+
+def _read_number(text: str, start: int) -> tuple[str, int]:
+    i = start
+    n = len(text)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = text[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            seen_exp = True
+            i += 1
+            if i < n and text[i] in "+-":
+                i += 1
+        else:
+            break
+    return text[start:i], i
+
+
+def _read_word(text: str, start: int) -> tuple[str, int]:
+    i = start
+    n = len(text)
+    while i < n and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    return text[start:i], i

@@ -1,0 +1,5 @@
+"""Workloads driving the replicated database tier."""
+
+from . import cloudstone
+
+__all__ = ["cloudstone"]

@@ -1,0 +1,175 @@
+"""Closed-loop load generator.
+
+Emulates N concurrent users against the proxy, exactly as the paper's
+customized Cloudstone does: each user repeatedly thinks (exponential
+think time), borrows a pooled connection, runs one operation from the
+mix (all statements pinned to one server: master for write operations,
+one balanced slave for read operations) and releases the connection.
+
+Runs follow the paper's phase structure (§III-B): ramp-up (users start
+staggered), a steady stage where throughput is measured, and ramp-down.
+The paper uses 10 / 20 / 5 minutes; phases are configurable so benches
+can run time-scaled versions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ...metrics import TimeSeries
+from ...replication.pool import ConnectionPool
+from ...replication.proxy import ReadWriteSplitProxy
+from ...sim import RandomStreams, Simulator
+from .mix import OperationMix
+from .state import WorkloadState
+
+__all__ = ["Phases", "PAPER_PHASES", "LoadGenerator"]
+
+
+@dataclass(frozen=True)
+class Phases:
+    """Run phase durations in seconds."""
+
+    ramp_up: float = 600.0
+    steady: float = 1200.0
+    ramp_down: float = 300.0
+
+    @property
+    def steady_start(self) -> float:
+        return self.ramp_up
+
+    @property
+    def steady_end(self) -> float:
+        return self.ramp_up + self.steady
+
+    @property
+    def total(self) -> float:
+        return self.ramp_up + self.steady + self.ramp_down
+
+    def scaled(self, factor: float) -> "Phases":
+        """A time-scaled copy (benches use factor < 1)."""
+        return Phases(self.ramp_up * factor, self.steady * factor,
+                      self.ramp_down * factor)
+
+
+#: The paper's 35-minute run: 10' ramp-up, 20' steady, 5' ramp-down.
+PAPER_PHASES = Phases()
+
+
+class LoadGenerator:
+    """Drives ``n_users`` emulated users through the proxy."""
+
+    def __init__(self, sim: Simulator, proxy: ReadWriteSplitProxy,
+                 pool: ConnectionPool, mix: OperationMix,
+                 state: WorkloadState, streams: RandomStreams,
+                 n_users: int, think_time_mean: float = 7.0,
+                 phases: Phases = PAPER_PHASES):
+        if n_users < 1:
+            raise ValueError(f"n_users must be >= 1, got {n_users}")
+        if think_time_mean <= 0:
+            raise ValueError("think_time_mean must be positive")
+        self.sim = sim
+        self.proxy = proxy
+        self.pool = pool
+        self.mix = mix
+        self.state = state
+        self.streams = streams
+        self.n_users = n_users
+        self.think_time_mean = think_time_mean
+        self.phases = phases
+        #: (completion time, operation latency) for every operation.
+        self.completions = TimeSeries()
+        self.read_completions = TimeSeries()
+        self.write_completions = TimeSeries()
+        self.op_counts: Counter = Counter()
+        self.errors = 0
+        self._started = False
+        #: Sim time at which :meth:`start` was called; phase windows
+        #: are relative to it.
+        self.t0 = 0.0
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the user processes (staggered across ramp-up)."""
+        if self._started:
+            raise RuntimeError("load generator already started")
+        self._started = True
+        self.t0 = self.sim.now
+        self.state.now_fn = lambda: self.sim.now
+        for index in range(self.n_users):
+            self.sim.process(self._user(index), name=f"user-{index}")
+
+    def _user(self, index: int):
+        rng = self.streams.spawn("cloudstone.user", index)
+        deadline = self.t0 + self.phases.total
+        # Stagger arrivals uniformly across the ramp-up phase.
+        if self.phases.ramp_up > 0:
+            yield self.sim.timeout(
+                float(rng.uniform(0.0, self.phases.ramp_up)))
+        while self.sim.now < deadline:
+            yield self.sim.timeout(
+                float(rng.exponential(self.think_time_mean)))
+            if self.sim.now >= deadline:
+                return
+            operation = self.mix.pick(rng)
+            statements = operation.build(self.state, rng)
+            connection = yield from self.pool.acquire()
+            started_at = self.sim.now
+            try:
+                server = self.proxy.master if operation.is_write \
+                    else self.proxy.pick_read_server(session=index)
+                for sql in statements:
+                    yield from self.proxy.execute(sql, server=server)
+                if operation.is_write:
+                    self.proxy.note_write(index)
+            finally:
+                self.pool.release(connection)
+            latency = self.sim.now - started_at
+            operation.on_complete(self.state)
+            self._record(operation, latency)
+
+    def _record(self, operation, latency: float) -> None:
+        now = self.sim.now
+        self.completions.record(now, latency)
+        if operation.is_write:
+            self.write_completions.record(now, latency)
+        else:
+            self.read_completions.record(now, latency)
+        self.op_counts[operation.name] += 1
+
+    # -- measurements ------------------------------------------------------------
+    @property
+    def steady_window(self) -> tuple[float, float]:
+        """Absolute sim-time bounds of the steady stage."""
+        return (self.t0 + self.phases.steady_start,
+                self.t0 + self.phases.steady_end)
+
+    def steady_throughput(self) -> float:
+        """End-to-end operations/second over the steady stage — the
+        paper's headline metric."""
+        return self.completions.rate_in(*self.steady_window)
+
+    def steady_read_write_ratio(self) -> float:
+        """Achieved read fraction over the steady stage."""
+        reads = self.read_completions.count_in(*self.steady_window)
+        writes = self.write_completions.count_in(*self.steady_window)
+        total = reads + writes
+        return reads / total if total else 0.0
+
+    def steady_mean_latency(self) -> float:
+        window = self.completions.window(*self.steady_window)
+        if not window:
+            return 0.0
+        return sum(window) / len(window)
+
+    def steady_latency_percentiles(self,
+                                   percentiles=(50.0, 95.0, 99.0)
+                                   ) -> dict[float, float]:
+        """Operation-latency percentiles over the steady stage (s)."""
+        import numpy as np
+        window = self.completions.window(*self.steady_window)
+        if not window:
+            return {p: 0.0 for p in percentiles}
+        values = np.percentile(np.asarray(window), percentiles)
+        return dict(zip(percentiles, (float(v) for v in values)))

@@ -1,0 +1,64 @@
+"""Initial data loader.
+
+The paper fixes the initial data size at **300** (50/50 experiments)
+and **600** (80/20 experiments); we interpret the data size as the
+number of pre-loaded *events*, with a matching user population, the
+fixed tag vocabulary, and realistic per-event attendee/comment/tag
+fan-out.  Loading uses the admin path (instantaneous, the paper's runs
+start "with a pre-loaded, fully-synchronized database") on the master
+**before** slaves attach, so slaves inherit the data via snapshot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schema import TAG_COUNT, create_schema
+from .state import WorkloadState
+
+__all__ = ["load_initial_data"]
+
+
+def load_initial_data(master, data_size: int,
+                      rng: np.random.Generator) -> WorkloadState:
+    """Create the schema and load ``data_size`` events; returns the
+    workload state describing what exists."""
+    if data_size < 1:
+        raise ValueError(f"data_size must be >= 1, got {data_size}")
+    create_schema(master)
+    state = WorkloadState(n_users=data_size, n_events=data_size,
+                          n_tags=TAG_COUNT)
+
+    def admin(sql):
+        master.admin(sql, database="cloudstone")
+
+    for tag_index in range(1, TAG_COUNT + 1):
+        admin(f"INSERT INTO tags (name) VALUES ('tag{tag_index:02d}')")
+    for user_id in range(1, data_size + 1):
+        admin(f"INSERT INTO users (username, created, events_created) "
+              f"VALUES ('user{user_id:05d}', 0.0, 1)")
+    for event_id in range(1, data_size + 1):
+        owner = int(rng.integers(1, data_size + 1))
+        event_date = float(rng.uniform(0.0, state.time_horizon))
+        admin(f"INSERT INTO events (owner, title, description, created, "
+              f"event_date, attendee_count) VALUES ({owner}, "
+              f"'Event number {event_id}', 'Description of event "
+              f"{event_id}', 0.0, {event_date}, 0)")
+        for _ in range(int(rng.integers(1, 4))):  # 1-3 tags
+            tag = int(rng.integers(1, TAG_COUNT + 1))
+            admin(f"INSERT INTO event_tags (event_id, tag_id) "
+                  f"VALUES ({event_id}, {tag})")
+        n_attendees = int(rng.integers(0, 6))
+        for _ in range(n_attendees):
+            attendee = int(rng.integers(1, data_size + 1))
+            admin(f"INSERT INTO attendees (event_id, user_id) "
+                  f"VALUES ({event_id}, {attendee})")
+        if n_attendees:
+            admin(f"UPDATE events SET attendee_count = {n_attendees} "
+                  f"WHERE id = {event_id}")
+        for _ in range(int(rng.integers(0, 3))):  # 0-2 comments
+            commenter = int(rng.integers(1, data_size + 1))
+            admin(f"INSERT INTO comments (event_id, user_id, body, created) "
+                  f"VALUES ({event_id}, {commenter}, 'A comment on event "
+                  f"{event_id}', 0.0)")
+    return state

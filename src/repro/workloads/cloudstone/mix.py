@@ -1,0 +1,50 @@
+"""Read/write operation mixes.
+
+The paper defines two configurations of the read/write ratio: **50/50**
+and **80/20** (§III-A).  The ratio is enforced probabilistically per
+operation, which is how the benchmark "controls the read/write ratio
+... by separately adjusting the number of read and write operations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .operations import (Operation, READ_OPERATIONS, WRITE_OPERATIONS)
+
+__all__ = ["OperationMix", "MIX_50_50", "MIX_80_20"]
+
+
+@dataclass(frozen=True)
+class OperationMix:
+    """A read fraction plus weighted operation tables."""
+
+    name: str
+    read_fraction: float
+    reads: tuple[tuple[Operation, float], ...] = tuple(READ_OPERATIONS)
+    writes: tuple[tuple[Operation, float], ...] = tuple(WRITE_OPERATIONS)
+
+    def __post_init__(self):
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(f"read_fraction must be in [0, 1], "
+                             f"got {self.read_fraction}")
+
+    @property
+    def write_fraction(self) -> float:
+        return 1.0 - self.read_fraction
+
+    def pick(self, rng: np.random.Generator) -> Operation:
+        """Draw the next operation."""
+        table = self.reads if rng.random() < self.read_fraction \
+            else self.writes
+        weights = np.array([w for _op, w in table], dtype=float)
+        weights /= weights.sum()
+        index = int(rng.choice(len(table), p=weights))
+        return table[index][0]
+
+
+#: The paper's two configurations.
+MIX_50_50 = OperationMix("50/50", read_fraction=0.50)
+MIX_80_20 = OperationMix("80/20", read_fraction=0.80)

@@ -1,0 +1,176 @@
+"""Cloudstone operations.
+
+Each operation is the database-tier footprint of one user action on
+the social-events site — the business logic the paper re-implemented
+so "a user's operation can be processed directly at the database tier
+without any intermediate interpretation at the web server tier"
+(§III-A).  A read operation issues only SELECTs and runs entirely on
+one slave; a write operation mixes validation reads with its writes
+and runs entirely on the master (only its write statements replicate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .state import WorkloadState
+
+__all__ = ["Operation", "READ_OPERATIONS", "WRITE_OPERATIONS",
+           "operation_by_name"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One user action: a named list of SQL statements."""
+
+    name: str
+    is_write: bool
+    build: Callable[[WorkloadState, np.random.Generator], list[str]]
+    on_complete: Callable[[WorkloadState], None] = lambda state: None
+
+
+# ------------------------------------------------------------------ reads
+def _view_event_detail_statements(state, rng):
+    event = state.random_event(rng)
+    return [
+        f"SELECT * FROM events WHERE id = {event}",
+        f"SELECT u.username FROM attendees a JOIN users u "
+        f"ON u.id = a.user_id WHERE a.event_id = {event}",
+        f"SELECT * FROM comments WHERE event_id = {event} "
+        f"ORDER BY created DESC LIMIT 10",
+        f"SELECT t.name FROM event_tags et JOIN tags t "
+        f"ON t.id = et.tag_id WHERE et.event_id = {event}",
+        f"SELECT username, events_created FROM users WHERE id = {event}",
+    ]
+
+
+def _browse_statements(state, rng):
+    low, high = state.random_date_window(rng, fraction=0.15)
+    return [
+        f"SELECT id, title, event_date, attendee_count FROM events "
+        f"WHERE event_date BETWEEN {low:.1f} AND {high:.1f} "
+        f"ORDER BY event_date LIMIT 10",
+        "SELECT * FROM tags ORDER BY id",
+    ]
+
+
+def _search_events_by_tag(state, rng):
+    tag = state.random_tag(rng)
+    return [
+        f"SELECT e.id, e.title, e.event_date FROM event_tags et "
+        f"JOIN events e ON e.id = et.event_id "
+        f"WHERE et.tag_id = {tag} ORDER BY e.event_date LIMIT 10",
+    ]
+
+
+def _view_user_profile(state, rng):
+    user = state.random_user(rng)
+    return [
+        f"SELECT * FROM users WHERE id = {user}",
+        f"SELECT id, title, event_date FROM events WHERE owner = {user} "
+        f"ORDER BY event_date DESC LIMIT 10",
+        f"SELECT e.title FROM attendees a JOIN events e "
+        f"ON e.id = a.event_id WHERE a.user_id = {user} LIMIT 10",
+    ]
+
+
+def _count_events_in_window(state, rng):
+    low, high = state.random_date_window(rng, fraction=0.25)
+    return [
+        f"SELECT COUNT(*) FROM events WHERE event_date "
+        f"BETWEEN {low:.1f} AND {high:.1f}",
+    ]
+
+
+# ----------------------------------------------------------------- writes
+def _create_event(state, rng):
+    owner = state.random_user(rng)
+    date = state.random_event_date(rng)
+    tag_a = state.random_tag(rng)
+    tag_b = state.random_tag(rng)
+    return [
+        f"SELECT id, events_created FROM users WHERE id = {owner}",
+        f"INSERT INTO events (owner, title, description, created, "
+        f"event_date, attendee_count) VALUES ({owner}, 'New event', "
+        f"'A freshly created event', {state.now():.6f}, {date:.1f}, 0)",
+        # state.n_events + 1 approximates the insert's auto-increment
+        # id; under concurrent creates it may name a sibling's event,
+        # which is still a valid (and replication-deterministic) row.
+        f"INSERT INTO event_tags (event_id, tag_id) "
+        f"VALUES ({state.n_events + 1}, {tag_a}), "
+        f"({state.n_events + 1}, {tag_b})",
+        f"UPDATE users SET events_created = events_created + 1 "
+        f"WHERE id = {owner}",
+    ]
+
+
+def _join_event(state, rng):
+    user = state.random_user(rng)
+    event = state.random_event(rng)
+    return [
+        f"SELECT id, attendee_count FROM events WHERE id = {event}",
+        f"INSERT INTO attendees (event_id, user_id) "
+        f"VALUES ({event}, {user})",
+        f"UPDATE events SET attendee_count = attendee_count + 1 "
+        f"WHERE id = {event}",
+    ]
+
+
+def _add_comment(state, rng):
+    user = state.random_user(rng)
+    event = state.random_event(rng)
+    return [
+        f"SELECT id FROM events WHERE id = {event}",
+        f"INSERT INTO comments (event_id, user_id, body, created) VALUES "
+        f"({event}, {user}, 'What a great event this will be', "
+        f"{state.now():.6f})",
+    ]
+
+
+def _tag_event(state, rng):
+    event = state.random_event(rng)
+    tag = state.random_tag(rng)
+    return [
+        f"SELECT id FROM tags WHERE id = {tag}",
+        f"INSERT INTO event_tags (event_id, tag_id) "
+        f"VALUES ({event}, {tag})",
+    ]
+
+
+def _create_user(state, rng):
+    suffix = int(rng.integers(0, 10**9))
+    return [
+        f"INSERT INTO users (username, created, events_created) "
+        f"VALUES ('newuser{suffix:09d}', {state.now():.6f}, 0)",
+    ]
+
+
+READ_OPERATIONS: list[tuple[Operation, float]] = [
+    (Operation("view_event_detail", False, _view_event_detail_statements),
+     0.35),
+    (Operation("browse_upcoming_events", False, _browse_statements), 0.25),
+    (Operation("search_events_by_tag", False, _search_events_by_tag), 0.20),
+    (Operation("view_user_profile", False, _view_user_profile), 0.10),
+    (Operation("count_events_in_window", False, _count_events_in_window),
+     0.10),
+]
+
+WRITE_OPERATIONS: list[tuple[Operation, float]] = [
+    (Operation("create_event", True, _create_event,
+               on_complete=lambda s: s.note_event_created()), 0.30),
+    (Operation("join_event", True, _join_event), 0.35),
+    (Operation("add_comment", True, _add_comment), 0.20),
+    (Operation("tag_event", True, _tag_event), 0.10),
+    (Operation("create_user", True, _create_user,
+               on_complete=lambda s: s.note_user_created()), 0.05),
+]
+
+
+def operation_by_name(name: str) -> Operation:
+    for operation, _weight in READ_OPERATIONS + WRITE_OPERATIONS:
+        if operation.name == name:
+            return operation
+    raise KeyError(f"unknown operation {name!r}")

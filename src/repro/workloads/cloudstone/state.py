@@ -1,0 +1,64 @@
+"""Shared workload state: approximate entity counters.
+
+The operation generators need plausible entity ids to reference.  Ids
+are dense (auto-increment, no deletes in Cloudstone), so tracking
+counts is enough.  Counters are *client-side* approximations — a read
+against a lagging slave may reference a row it has not applied yet and
+come back empty, which is exactly the staleness a real Web 2.0 client
+experiences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WorkloadState"]
+
+
+class WorkloadState:
+    """Counts of live entities, updated as write operations complete."""
+
+    def __init__(self, n_users: int, n_events: int, n_tags: int,
+                 time_horizon: float = 30 * 86400.0):
+        self.n_users = n_users
+        self.n_events = n_events
+        self.n_tags = n_tags
+        #: Event dates are spread over this many seconds of calendar.
+        self.time_horizon = time_horizon
+        #: Client-side wall clock used to stamp created-at literals.
+        #: Stamping on the client keeps write statements deterministic
+        #: under statement-based replication (``USEC_NOW()`` inside a
+        #: replicated write would commit a different value on every
+        #: replica); the driver binds this to the simulation clock.
+        self.now_fn = lambda: 0.0
+
+    def now(self) -> float:
+        """The client's current wall-clock reading."""
+        return float(self.now_fn())
+
+    # -- id picks -------------------------------------------------------------
+    def random_user(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(1, self.n_users + 1))
+
+    def random_event(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(1, self.n_events + 1))
+
+    def random_tag(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(1, self.n_tags + 1))
+
+    def random_date_window(self, rng: np.random.Generator,
+                           fraction: float = 0.1) -> tuple[float, float]:
+        """A [low, high] slice covering ``fraction`` of the calendar."""
+        span = self.time_horizon * fraction
+        low = float(rng.uniform(0.0, self.time_horizon - span))
+        return low, low + span
+
+    def random_event_date(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(0.0, self.time_horizon))
+
+    # -- growth ------------------------------------------------------------------
+    def note_user_created(self) -> None:
+        self.n_users += 1
+
+    def note_event_created(self) -> None:
+        self.n_events += 1

@@ -1,0 +1,124 @@
+"""Tests for drifting clocks and the NTP daemon."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import LocalClock, NtpConfig, NtpDaemon
+from repro.sim import RandomStreams, Simulator
+
+
+def test_clock_without_drift_tracks_sim_time():
+    sim = Simulator()
+    clock = LocalClock(sim)
+    assert clock.now() == 0.0
+    sim.run(until=100.0)
+    assert clock.now() == 100.0
+    assert clock.error() == 0.0
+
+
+def test_clock_offset():
+    sim = Simulator()
+    clock = LocalClock(sim, offset=0.007)
+    assert clock.error() == pytest.approx(0.007)
+    sim.run(until=10.0)
+    assert clock.now() == pytest.approx(10.007)
+
+
+def test_clock_drift_accumulates_linearly():
+    sim = Simulator()
+    clock = LocalClock(sim, offset=0.0, drift_rate=36e-6)
+    sim.run(until=1200.0)  # 20 minutes
+    assert clock.error() == pytest.approx(1200.0 * 36e-6)
+    assert clock.error() == pytest.approx(0.0432)
+
+
+def test_step_to_error_reanchors_drift():
+    sim = Simulator()
+    clock = LocalClock(sim, offset=0.5, drift_rate=100e-6)
+    sim.run(until=100.0)
+    clock.step_to_error(0.001)
+    assert clock.error() == pytest.approx(0.001)
+    sim.run(until=200.0)
+    assert clock.error() == pytest.approx(0.001 + 100.0 * 100e-6)
+
+
+def test_slew_shifts_without_reanchoring():
+    sim = Simulator()
+    clock = LocalClock(sim, offset=0.0, drift_rate=10e-6)
+    sim.run(until=100.0)
+    before = clock.error()
+    clock.slew(-0.0005)
+    assert clock.error() == pytest.approx(before - 0.0005)
+
+
+def test_difference_between_two_clocks():
+    sim = Simulator()
+    a = LocalClock(sim, offset=0.010, drift_rate=20e-6)
+    b = LocalClock(sim, offset=0.003, drift_rate=-16e-6)
+    assert a.difference(b) == pytest.approx(0.007)
+    sim.run(until=1200.0)
+    assert a.difference(b) == pytest.approx(0.007 + 1200.0 * 36e-6)
+
+
+# ------------------------------------------------------------------- NTP
+def test_ntp_rejects_nonpositive_period():
+    sim = Simulator()
+    clock = LocalClock(sim)
+    with pytest.raises(ValueError):
+        NtpDaemon(sim, clock, RandomStreams(0), period=0.0)
+
+
+def test_ntp_sync_once_leaves_drift_unchecked():
+    sim = Simulator()
+    clock = LocalClock(sim, offset=0.5, drift_rate=40e-6)
+    daemon = NtpDaemon(sim, clock, RandomStreams(1), period=None,
+                       config=NtpConfig(residual_sigma_s=0.003))
+    sim.run(until=1200.0)
+    assert daemon.sync_count == 1
+    # The big boot offset was removed but drift accumulated again.
+    assert abs(clock.error()) < 0.07
+    assert abs(clock.error()) > 0.03  # ~48 ms of drift re-accumulated
+
+
+def test_ntp_periodic_keeps_error_bounded():
+    sim = Simulator()
+    clock = LocalClock(sim, offset=0.5, drift_rate=40e-6)
+    daemon = NtpDaemon(sim, clock, RandomStreams(1), period=1.0,
+                       config=NtpConfig(residual_sigma_s=0.003))
+    sim.run(until=120.0)
+    assert daemon.sync_count == 121  # once at t=0 plus every second
+    assert abs(clock.error()) < 0.02
+
+
+def test_ntp_every_second_pair_difference_matches_paper_band():
+    """Two clocks synced every second should differ by a few ms
+    (the paper reports a 1-8 ms band with median 3.30 ms)."""
+    sim = Simulator()
+    streams = RandomStreams(42)
+    a = LocalClock(sim, offset=0.030, drift_rate=25e-6)
+    b = LocalClock(sim, offset=-0.020, drift_rate=-12e-6)
+    NtpDaemon(sim, a, streams, period=1.0, stream_name="ntp.a")
+    NtpDaemon(sim, b, streams, period=1.0, stream_name="ntp.b")
+    samples = []
+
+    def sampler(sim):
+        while True:
+            yield sim.timeout(10.0)
+            samples.append(abs(a.difference(b)) * 1000.0)
+
+    sim.process(sampler(sim))
+    sim.run(until=1200.0)
+    median = float(np.median(samples))
+    assert 1.0 < median < 8.0
+    assert max(samples) < 25.0
+
+
+def test_ntp_first_sync_delay():
+    sim = Simulator()
+    clock = LocalClock(sim, offset=1.0)
+    NtpDaemon(sim, clock, RandomStreams(3), period=None,
+              config=NtpConfig(residual_sigma_s=0.0, first_sync_at=50.0))
+    sim.run(until=49.0)
+    assert clock.error() == pytest.approx(1.0)
+    sim.run(until=51.0)
+    assert clock.error() == pytest.approx(0.0)

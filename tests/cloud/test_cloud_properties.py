@@ -1,0 +1,108 @@
+"""Property-based tests over the cloud substrate."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import (Cloud, DEFAULT_CATALOG, LocalClock, Network,
+                         PAPER_LATENCY, SMALL)
+from repro.replication import OrderedChannel
+from repro.sim import RandomStreams, Simulator
+
+ALL_ZONES = [zone
+             for name in DEFAULT_CATALOG.region_names
+             for zone in DEFAULT_CATALOG.region(name).zones]
+
+
+def test_latency_classes_are_symmetric_and_ordered():
+    """For every placement pair: symmetric medians, and same-zone <=
+    cross-zone <= cross-region."""
+    placements = [DEFAULT_CATALOG.placement(z) for z in ALL_ZONES]
+    for a, b in itertools.product(placements, placements):
+        forward = PAPER_LATENCY.median_one_way_ms(a, b)
+        backward = PAPER_LATENCY.median_one_way_ms(b, a)
+        assert forward == backward
+        if a == b:
+            assert forward == PAPER_LATENCY.loopback_ms
+        elif a.same_region(b):
+            assert forward == PAPER_LATENCY.cross_zone_ms
+        else:
+            assert forward == PAPER_LATENCY.cross_region_ms
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_latency_samples_always_positive(seed):
+    sim = Simulator()
+    network = Network(sim, RandomStreams(seed))
+    a = DEFAULT_CATALOG.placement("us-east-1a")
+    b = DEFAULT_CATALOG.placement("eu-west-1a")
+    for _ in range(50):
+        assert network.sample_one_way(a, b) > 0.0
+        assert network.sample_one_way(a, a) > 0.0
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+       n_messages=st.integers(min_value=1, max_value=60))
+@settings(max_examples=60, deadline=None)
+def test_ordered_channel_fifo_for_any_seed(seed, n_messages):
+    """Jitter must never reorder channel deliveries."""
+    sim = Simulator()
+    network = Network(sim, RandomStreams(seed))
+    inbox = []
+    channel = OrderedChannel(
+        network, DEFAULT_CATALOG.placement("us-east-1a"),
+        DEFAULT_CATALOG.placement("ap-northeast-1a"),
+        on_delivery=inbox.append)
+
+    def sender(sim, channel):
+        for i in range(n_messages):
+            channel.send(i)
+            yield sim.timeout(0.001)
+
+    sim.process(sender(sim, channel))
+    sim.run()
+    assert inbox == list(range(n_messages))
+
+
+@given(offset=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+       drift_ppm=st.floats(min_value=-100.0, max_value=100.0,
+                           allow_nan=False),
+       t1=st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False),
+       t2=st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_clock_error_is_affine_in_time(offset, drift_ppm, t1, t2):
+    lo, hi = sorted((t1, t2))
+    sim = Simulator()
+    clock = LocalClock(sim, offset=offset, drift_rate=drift_ppm * 1e-6)
+    sim.run(until=lo) if lo > 0 else None
+    error_lo = clock.error()
+    sim.run(until=hi) if hi > sim.now else None
+    error_hi = clock.error()
+    expected_growth = (hi - lo) * drift_ppm * 1e-6
+    assert error_hi - error_lo == pytest.approx(expected_growth, abs=1e-9)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_instance_speed_always_positive_and_bounded(seed):
+    sim = Simulator()
+    cloud = Cloud(sim, RandomStreams(seed))
+    for _ in range(30):
+        instance = cloud.launch(
+            SMALL, DEFAULT_CATALOG.placement("us-east-1a"))
+        assert 0.2 < instance.effective_speed < 1.6
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+       work=st.floats(min_value=1e-6, max_value=10.0, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_compute_time_scales_inverse_to_speed(seed, work):
+    sim = Simulator()
+    cloud = Cloud(sim, RandomStreams(seed))
+    instance = cloud.launch(SMALL,
+                            DEFAULT_CATALOG.placement("us-east-1a"))
+    assert instance.service_time(work) == pytest.approx(
+        work / instance.effective_speed)

@@ -1,0 +1,53 @@
+"""Provisioner details: clock profiles, pinning, NTP wiring."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (ClockProfile, Cloud, MASTER_PLACEMENT, SMALL)
+from repro.cloud.instance import CpuModel
+from repro.sim import RandomStreams, Simulator
+
+
+def test_clock_profile_shapes_boot_state():
+    sim = Simulator()
+    profile = ClockProfile(boot_offset_sigma_s=0.5, drift_ppm_sigma=100.0)
+    cloud = Cloud(sim, RandomStreams(3), clock_profile=profile)
+    offsets = [abs(cloud.launch(SMALL, MASTER_PLACEMENT).clock.error())
+               for _ in range(200)]
+    assert np.std(offsets) > 0.1  # wide profile produces wide offsets
+
+
+def test_default_clock_profile_matches_paper_scale():
+    profile = ClockProfile()
+    # Tens of ms of boot offset; tens of ppm of drift.
+    assert 0.005 < profile.boot_offset_sigma_s < 0.1
+    assert 5.0 < profile.drift_ppm_sigma < 50.0
+
+
+def test_pin_hardware_overrides_lottery():
+    sim = Simulator()
+    cloud = Cloud(sim, RandomStreams(4))
+    instance = cloud.launch(SMALL, MASTER_PLACEMENT)
+    instance.pin_hardware(CpuModel("reference", 1.0))
+    assert instance.effective_speed == pytest.approx(1.0)
+    assert instance.cpu_model.name == "reference"
+
+
+def test_drift_and_offset_overrides_are_exact():
+    sim = Simulator()
+    cloud = Cloud(sim, RandomStreams(5))
+    instance = cloud.launch(SMALL, MASTER_PLACEMENT, offset=0.007,
+                            drift_rate=36e-6)
+    sim.run(until=1000.0)
+    assert instance.clock.error() == pytest.approx(0.007 + 0.036)
+
+
+def test_distinct_instances_draw_distinct_clocks():
+    sim = Simulator()
+    cloud = Cloud(sim, RandomStreams(6))
+    a = cloud.launch(SMALL, MASTER_PLACEMENT)
+    b = cloud.launch(SMALL, MASTER_PLACEMENT)
+    # "Instances launched by a single account never run in the same
+    # physical node" — their clocks must be independent draws.
+    assert a.clock.error() != b.clock.error() \
+        or a.clock.drift_rate != b.clock.drift_rate

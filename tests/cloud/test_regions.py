@@ -1,0 +1,55 @@
+"""Tests for the region/zone catalogue."""
+
+import pytest
+
+from repro.cloud import DEFAULT_CATALOG, MASTER_PLACEMENT, Placement, Region
+
+
+def test_master_placement_matches_paper():
+    assert MASTER_PLACEMENT.region == "us-east-1"
+    assert MASTER_PLACEMENT.zone == "us-east-1a"
+
+
+def test_placement_resolution():
+    p = DEFAULT_CATALOG.placement("eu-west-1a")
+    assert p.region == "eu-west-1"
+    assert p.zone == "eu-west-1a"
+
+
+def test_unknown_zone_raises():
+    with pytest.raises(KeyError):
+        DEFAULT_CATALOG.placement("mars-central-1a")
+
+
+def test_unknown_region_raises():
+    with pytest.raises(KeyError):
+        DEFAULT_CATALOG.region("mars-central-1")
+
+
+def test_same_zone_relationships():
+    a = DEFAULT_CATALOG.placement("us-east-1a")
+    b = DEFAULT_CATALOG.placement("us-east-1b")
+    c = DEFAULT_CATALOG.placement("eu-west-1a")
+    assert a.same_zone(a)
+    assert not a.same_zone(b)
+    assert a.same_region(b)
+    assert not a.same_region(c)
+
+
+def test_paper_regions_all_present():
+    for region in ("us-east-1", "us-west-1", "eu-west-1",
+                   "ap-southeast-1", "ap-northeast-1"):
+        assert region in DEFAULT_CATALOG
+
+
+def test_region_placement_helper():
+    region = Region("r-1", ("r-1a", "r-1b"))
+    assert region.placement("a") == Placement("r-1", "r-1a")
+    with pytest.raises(KeyError):
+        region.placement("z")
+
+
+def test_placement_is_hashable_and_str():
+    p = DEFAULT_CATALOG.placement("us-east-1a")
+    assert str(p) == "us-east-1a"
+    assert {p: 1}[Placement("us-east-1", "us-east-1a")] == 1

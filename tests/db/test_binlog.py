@@ -1,0 +1,72 @@
+"""Binlog tests."""
+
+from repro.db import Binlog
+from repro.sim import Simulator
+
+
+def test_append_assigns_dense_positions():
+    sim = Simulator()
+    log = Binlog(sim, server_id=1)
+    e1 = log.append("INSERT INTO t (a) VALUES (1)", "app", 10.0)
+    e2 = log.append("INSERT INTO t (a) VALUES (2)", "app", 11.0)
+    assert (e1.position, e2.position) == (1, 2)
+    assert log.head_position == 2
+
+
+def test_event_metadata():
+    sim = Simulator()
+    sim.run(until=5.0)
+    log = Binlog(sim, server_id=7)
+    event = log.append("UPDATE t SET a = 1", "app", 5.003)
+    assert event.server_id == 7
+    assert event.database == "app"
+    assert event.commit_wallclock == 5.003
+    assert event.commit_simtime == 5.0
+    assert event.size_bytes > len(event.statement)
+
+
+def test_read_from_cursor():
+    sim = Simulator()
+    log = Binlog(sim, server_id=1)
+    for i in range(5):
+        log.append(f"stmt{i}", "app", float(i))
+    assert [e.statement for e in log.read_from(0)] == \
+        ["stmt0", "stmt1", "stmt2", "stmt3", "stmt4"]
+    assert [e.statement for e in log.read_from(3)] == ["stmt3", "stmt4"]
+    assert log.read_from(5) == []
+    assert [e.statement for e in log.read_from(0, max_events=2)] == \
+        ["stmt0", "stmt1"]
+
+
+def test_wait_for_fires_on_append():
+    sim = Simulator()
+    log = Binlog(sim, server_id=1)
+    woke = []
+
+    def dumper(sim, log):
+        yield log.wait_for(0)
+        woke.append(sim.now)
+
+    def writer(sim, log):
+        yield sim.timeout(3.0)
+        log.append("stmt", "app", 3.0)
+
+    sim.process(dumper(sim, log))
+    sim.process(writer(sim, log))
+    sim.run()
+    assert woke == [3.0]
+
+
+def test_wait_for_already_satisfied():
+    sim = Simulator()
+    log = Binlog(sim, server_id=1)
+    log.append("stmt", "app", 0.0)
+    woke = []
+
+    def dumper(sim, log):
+        yield log.wait_for(0)
+        woke.append(sim.now)
+
+    sim.process(dumper(sim, log))
+    sim.run()
+    assert woke == [0.0]

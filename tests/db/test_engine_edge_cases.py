@@ -1,0 +1,163 @@
+"""Storage-engine edge cases beyond the core behaviours."""
+
+import pytest
+
+from repro.db import DatabaseError, StorageEngine, standard_functions
+
+
+@pytest.fixture
+def engine():
+    eng = StorageEngine(functions=standard_functions(lambda: 0.0),
+                        default_database="app")
+    eng.execute("CREATE TABLE t (id INTEGER PRIMARY KEY AUTO_INCREMENT, "
+                "name VARCHAR(16), score DOUBLE)")
+    eng.execute("INSERT INTO t (name, score) VALUES "
+                "('a', 1.0), ('b', NULL), ('c', 3.0), (NULL, 2.0)")
+    return eng
+
+
+def rows(engine, sql):
+    return engine.execute(sql).result.rows
+
+
+def test_order_by_puts_nulls_first(engine):
+    got = rows(engine, "SELECT score FROM t ORDER BY score")
+    assert got == [(None,), (1.0,), (2.0,), (3.0,)]
+
+
+def test_order_by_desc_puts_nulls_last(engine):
+    got = rows(engine, "SELECT score FROM t ORDER BY score DESC")
+    assert got == [(3.0,), (2.0,), (1.0,), (None,)]
+
+
+def test_order_by_mixed_types_is_total(engine):
+    # numbers sort before text in our total order; must not raise.
+    engine.execute("CREATE TABLE m (id INTEGER PRIMARY KEY, v TEXT)")
+    engine.execute("INSERT INTO m VALUES (1, 'x'), (2, 'a')")
+    got = rows(engine, "SELECT v FROM m ORDER BY v")
+    assert got == [("a",), ("x",)]
+
+
+def test_where_null_comparison_filters_row(engine):
+    # NULL = NULL is NULL -> row filtered (SQL semantics).
+    got = rows(engine, "SELECT id FROM t WHERE score = NULL")
+    assert got == []
+
+
+def test_is_null_predicates(engine):
+    assert rows(engine, "SELECT id FROM t WHERE score IS NULL") == [(2,)]
+    assert len(rows(engine, "SELECT id FROM t WHERE score IS NOT NULL")) \
+        == 3
+
+
+def test_limit_zero(engine):
+    assert rows(engine, "SELECT * FROM t LIMIT 0") == []
+
+
+def test_offset_beyond_rows(engine):
+    assert rows(engine, "SELECT * FROM t LIMIT 10 OFFSET 100") == []
+
+
+def test_distinct_counts_null_once(engine):
+    engine.execute("INSERT INTO t (name, score) VALUES ('d', NULL)")
+    got = rows(engine, "SELECT DISTINCT score FROM t ORDER BY score")
+    assert got == [(None,), (1.0,), (2.0,), (3.0,)]
+
+
+def test_aggregates_skip_nulls(engine):
+    result = engine.execute(
+        "SELECT COUNT(score), SUM(score), AVG(score) FROM t").result
+    assert result.rows == [(3, 6.0, 2.0)]
+
+
+def test_count_star_includes_nulls(engine):
+    assert engine.execute("SELECT COUNT(*) FROM t").result.scalar() == 4
+
+
+def test_params_in_dml(engine):
+    engine.execute("INSERT INTO t (name, score) VALUES (?, ?)",
+                   params=("e", 9.0))
+    engine.execute("UPDATE t SET score = ? WHERE name = ?",
+                   params=(10.0, "e"))
+    assert engine.execute("SELECT score FROM t WHERE name = 'e'"
+                          ).result.scalar() == 10.0
+    engine.execute("DELETE FROM t WHERE name = ?", params=("e",))
+    assert engine.execute("SELECT COUNT(*) FROM t WHERE name = 'e'"
+                          ).result.scalar() == 0
+
+
+def test_like_predicate_in_where(engine):
+    got = rows(engine, "SELECT name FROM t WHERE name LIKE '_'")
+    assert sorted(got) == [("a",), ("b",), ("c",)]
+
+
+def test_in_list_in_where(engine):
+    got = rows(engine, "SELECT id FROM t WHERE name IN ('a', 'c')")
+    assert sorted(got) == [(1,), (3,)]
+
+
+def test_arithmetic_projection(engine):
+    got = rows(engine, "SELECT score * 2 + 1 FROM t WHERE id = 1")
+    assert got == [(3.0,)]
+
+
+def test_function_in_projection(engine):
+    got = rows(engine, "SELECT UPPER(name) FROM t WHERE id = 1")
+    assert got == [("A",)]
+
+
+def test_resultset_helpers(engine):
+    result = engine.execute("SELECT id, name FROM t WHERE id = 1").result
+    assert result.scalar() == 1
+    assert result.dicts() == [{"id": 1, "name": "a"}]
+    empty = engine.execute("SELECT id FROM t WHERE id = 99").result
+    assert empty.scalar() is None
+
+
+def test_update_where_uses_residual_filter(engine):
+    # Index probe on pk + residual predicate that rejects the row.
+    out = engine.execute("UPDATE t SET score = 0 "
+                         "WHERE id = 1 AND name = 'zzz'")
+    assert out.result.rowcount == 0
+
+
+def test_multi_conjunct_index_selection(engine):
+    engine.execute("CREATE INDEX idx_name ON t (name)")
+    out = engine.execute("SELECT * FROM t WHERE score IS NOT NULL "
+                         "AND name = 'a'")
+    assert out.profile.used_index
+    assert out.profile.rows_examined == 1
+
+
+def test_range_probe_reversed_operands(engine):
+    engine.execute("CREATE INDEX idx_score ON t (score)")
+    out = engine.execute("SELECT id FROM t WHERE 2.0 <= score")
+    assert out.profile.used_index
+    assert sorted(out.result.rows) == [(3,), (4,)]
+
+
+def test_statements_executed_counter(engine):
+    before = engine.statements_executed
+    engine.execute("SELECT 1")
+    assert engine.statements_executed == before + 1
+
+
+def test_database_override_is_temporary(engine):
+    engine.execute("CREATE DATABASE other")
+    engine.execute("CREATE TABLE other.x (id INTEGER PRIMARY KEY)")
+    engine.execute("INSERT INTO x VALUES (5)", database="other")
+    assert engine.default_database == "app"
+    assert engine.execute("SELECT COUNT(*) FROM other.x"
+                          ).result.scalar() == 1
+
+
+def test_unknown_function_in_where(engine):
+    from repro.sql import EvaluationError
+    with pytest.raises(EvaluationError):
+        engine.execute("SELECT * FROM t WHERE mystery(id) = 1")
+
+
+def test_insert_explicit_null_into_nullable(engine):
+    engine.execute("INSERT INTO t (name, score) VALUES (NULL, NULL)")
+    assert engine.execute(
+        "SELECT COUNT(*) FROM t WHERE name IS NULL").result.scalar() == 2

@@ -1,0 +1,165 @@
+"""Row-based replication event tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (DatabaseError, RowOp, StorageEngine, apply_row_ops,
+                      row_ops_size_bytes, standard_functions)
+
+
+def fresh_engine():
+    engine = StorageEngine(functions=standard_functions(lambda: 5.0),
+                           default_database="app")
+    engine.execute("CREATE TABLE t (id INTEGER PRIMARY KEY "
+                   "AUTO_INCREMENT, grp INTEGER, v INTEGER)")
+    engine.execute("CREATE INDEX idx_grp ON t (grp)")
+    return engine
+
+
+def captured(engine):
+    log = []
+    engine.commit_listener = log.extend
+    return log
+
+
+def test_rowop_validation():
+    with pytest.raises(DatabaseError):
+        RowOp("upsert", "app.t", 1, {})
+    with pytest.raises(DatabaseError):
+        RowOp("insert", "app.t", 1, None)
+    RowOp("delete", "app.t", 1)  # no row image needed
+
+
+def test_insert_produces_row_image():
+    engine = fresh_engine()
+    engine.binlog_format = "row"
+    log = captured(engine)
+    engine.execute("INSERT INTO t (grp, v) VALUES (1, 10), (2, 20)")
+    (ops, database), = log
+    assert database == "app"
+    assert [op.kind for op in ops] == ["insert", "insert"]
+    assert ops[0].row == {"id": 1, "grp": 1, "v": 10}
+    assert ops[1].pk == 2
+
+
+def test_update_produces_new_image_with_old_pk():
+    engine = fresh_engine()
+    engine.execute("INSERT INTO t (grp, v) VALUES (1, 10)")
+    engine.binlog_format = "row"
+    log = captured(engine)
+    engine.execute("UPDATE t SET v = v + 5, id = 9 WHERE id = 1")
+    (ops, _db), = log
+    op, = ops
+    assert op.kind == "update"
+    assert op.pk == 1                      # pre-image location
+    assert op.row == {"id": 9, "grp": 1, "v": 15}
+
+
+def test_delete_produces_tombstone():
+    engine = fresh_engine()
+    engine.execute("INSERT INTO t (grp, v) VALUES (1, 10)")
+    engine.binlog_format = "row"
+    log = captured(engine)
+    engine.execute("DELETE FROM t WHERE id = 1")
+    (ops, _db), = log
+    assert ops == (RowOp("delete", "app.t", 1),)
+
+
+def test_no_ops_for_no_op_statements():
+    engine = fresh_engine()
+    engine.binlog_format = "row"
+    log = captured(engine)
+    engine.execute("UPDATE t SET v = 0 WHERE id = 999")
+    engine.execute("SELECT * FROM t")
+    assert log == []
+
+
+def test_rolled_back_transaction_emits_nothing():
+    engine = fresh_engine()
+    engine.binlog_format = "row"
+    log = captured(engine)
+    engine.execute("BEGIN")
+    engine.execute("INSERT INTO t (grp, v) VALUES (1, 1)")
+    engine.execute("ROLLBACK")
+    assert log == []
+
+
+def test_apply_row_ops_reproduces_state():
+    master = fresh_engine()
+    master.binlog_format = "row"
+    log = captured(master)
+    replica = fresh_engine()
+    master.execute("INSERT INTO t (grp, v) VALUES (1, 10), (2, 20)")
+    master.execute("UPDATE t SET v = v * 10 WHERE grp = 1")
+    master.execute("DELETE FROM t WHERE id = 2")
+    for ops, _db in log:
+        apply_row_ops(replica, ops)
+    assert replica.checksum() == master.checksum()
+
+
+def test_apply_missing_table_raises():
+    replica = StorageEngine(default_database="app")
+    with pytest.raises(DatabaseError):
+        apply_row_ops(replica, (RowOp("delete", "app.nope", 1),))
+
+
+def test_nondeterministic_function_frozen_in_row_image():
+    """The key semantic difference from statement-based replication:
+    USEC_NOW() is evaluated once, on the master."""
+    master = StorageEngine(functions=standard_functions(lambda: 111.5),
+                           default_database="app")
+    master.execute("CREATE TABLE hb (id INTEGER PRIMARY KEY, ts DOUBLE)")
+    master.binlog_format = "row"
+    log = captured(master)
+    master.execute("INSERT INTO hb (id, ts) VALUES (1, USEC_NOW())")
+    replica = StorageEngine(functions=standard_functions(lambda: 999.0),
+                            default_database="app")
+    replica.execute("CREATE TABLE hb (id INTEGER PRIMARY KEY, ts DOUBLE)")
+    apply_row_ops(replica, log[0][0])
+    assert replica.execute("SELECT ts FROM hb").result.scalar() == 111.5
+
+
+def test_row_ops_size_grows_with_rows():
+    small = (RowOp("insert", "app.t", 1, {"id": 1, "v": 2}),)
+    large = small * 5
+    assert row_ops_size_bytes(large) > row_ops_size_bytes(small)
+    assert row_ops_size_bytes((RowOp("delete", "app.t", 1),)) > 0
+
+
+@given(seed=st.integers(min_value=0, max_value=10**6),
+       n_ops=st.integers(min_value=1, max_value=30))
+@settings(max_examples=100, deadline=None)
+def test_row_replication_matches_statement_replication(seed, n_ops):
+    """Both binlog formats must converge replicas to the same state."""
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    statements = []
+    for _ in range(n_ops):
+        kind = int(rng.integers(0, 3))
+        a, b = int(rng.integers(0, 50)), int(rng.integers(0, 50))
+        if kind == 0:
+            statements.append(
+                f"INSERT INTO t (grp, v) VALUES ({a % 5}, {b})")
+        elif kind == 1:
+            statements.append(
+                f"UPDATE t SET v = v + {b % 9} WHERE grp = {a % 5}")
+        else:
+            statements.append(f"DELETE FROM t WHERE id = {a % 20 + 1}")
+
+    def run(fmt):
+        master = fresh_engine()
+        master.binlog_format = fmt
+        log = captured(master)
+        for sql in statements:
+            master.execute(sql)
+        replica = fresh_engine()
+        for payload, _db in log:
+            if isinstance(payload, str):
+                replica.execute(payload)
+            else:
+                apply_row_ops(replica, payload)
+        assert replica.checksum() == master.checksum()
+        return master.checksum()
+
+    assert run("statement") == run("row")

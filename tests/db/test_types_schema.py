@@ -1,0 +1,136 @@
+"""Tests for SQL types and table schemas."""
+
+import pytest
+
+from repro.db import (Column, ConstraintError, SchemaError, TableSchema,
+                      resolve_type, schema_from_ast)
+from repro.sql.ast import ColumnDef, Literal
+
+
+def col(name, type_name="INTEGER", type_arg=None, **kwargs):
+    return ColumnDef(name, type_name, type_arg, **kwargs)
+
+
+# ------------------------------------------------------------------ types
+def test_integer_coercion():
+    t = resolve_type("INTEGER")
+    assert t.coerce(5, "c") == 5
+    assert t.coerce(5.0, "c") == 5
+    assert t.coerce(True, "c") == 1
+    assert t.coerce(None, "c") is None
+    with pytest.raises(ConstraintError):
+        t.coerce(5.5, "c")
+    with pytest.raises(ConstraintError):
+        t.coerce("x", "c")
+
+
+def test_float_coercion():
+    t = resolve_type("DOUBLE")
+    assert t.coerce(5, "c") == 5.0
+    assert isinstance(t.coerce(5, "c"), float)
+    with pytest.raises(ConstraintError):
+        t.coerce("x", "c")
+    with pytest.raises(ConstraintError):
+        t.coerce(True, "c")
+
+
+def test_varchar_length_enforced():
+    t = resolve_type("VARCHAR", 3)
+    assert t.coerce("abc", "c") == "abc"
+    with pytest.raises(ConstraintError):
+        t.coerce("abcd", "c")
+
+
+def test_varchar_requires_length():
+    with pytest.raises(SchemaError):
+        resolve_type("VARCHAR")
+
+
+def test_text_unbounded():
+    t = resolve_type("TEXT")
+    assert t.coerce("x" * 100000, "c")
+
+
+def test_boolean_coercion():
+    t = resolve_type("BOOLEAN")
+    assert t.coerce(1, "c") is True
+    assert t.coerce(0, "c") is False
+    with pytest.raises(ConstraintError):
+        t.coerce("yes", "c")
+
+
+def test_timestamp_is_float_seconds():
+    t = resolve_type("TIMESTAMP")
+    assert t.coerce(1234.567891, "c") == pytest.approx(1234.567891)
+
+
+def test_unknown_type():
+    with pytest.raises(SchemaError):
+        resolve_type("BLOB")
+
+
+def test_int_alias():
+    assert resolve_type("INT").name == "INTEGER"
+
+
+# ----------------------------------------------------------------- schema
+def make_schema():
+    return schema_from_ast("main.users", (
+        col("id", primary_key=True, auto_increment=True),
+        col("name", "VARCHAR", 10, nullable=False),
+        col("karma", default=Literal(0)),
+    ))
+
+
+def test_schema_basics():
+    schema = make_schema()
+    assert schema.primary_key.name == "id"
+    assert schema.column_names == ["id", "name", "karma"]
+    assert schema.column("karma").has_default
+
+
+def test_schema_requires_exactly_one_pk():
+    with pytest.raises(SchemaError):
+        schema_from_ast("t", (col("a"), col("b")))
+    with pytest.raises(SchemaError):
+        schema_from_ast("t", (col("a", primary_key=True),
+                              col("b", primary_key=True)))
+
+
+def test_schema_duplicate_column():
+    with pytest.raises(SchemaError):
+        schema_from_ast("t", (col("a", primary_key=True), col("a")))
+
+
+def test_auto_increment_requires_int():
+    with pytest.raises(SchemaError):
+        schema_from_ast("t", (col("a", "TEXT", primary_key=True,
+                                  auto_increment=True),))
+
+
+def test_coerce_row_defaults_and_autoincrement():
+    schema = make_schema()
+    row = schema.coerce_row({"name": "bob"}, auto_increment_value=7)
+    assert row == {"id": 7, "name": "bob", "karma": 0}
+
+
+def test_coerce_row_not_null():
+    schema = make_schema()
+    with pytest.raises(ConstraintError):
+        schema.coerce_row({"id": 1})  # name missing and NOT NULL
+    with pytest.raises(ConstraintError):
+        schema.coerce_row({"id": 1, "name": None})
+
+
+def test_coerce_row_unknown_column():
+    schema = make_schema()
+    with pytest.raises(SchemaError):
+        schema.coerce_row({"id": 1, "name": "x", "bogus": 1})
+
+
+def test_unknown_column_lookup():
+    schema = make_schema()
+    with pytest.raises(SchemaError):
+        schema.column("missing")
+    assert schema.has_column("name")
+    assert not schema.has_column("missing")

@@ -1,0 +1,84 @@
+"""Experiment config and saturation-detection tests."""
+
+import pytest
+
+from repro.experiments import (ExperimentConfig, LocationConfig,
+                               PAPER_50_50, PAPER_80_20, SweepResult,
+                               USERS_50_50, USERS_80_20, max_throughput,
+                               saturation_point)
+from repro.experiments.runner import ExperimentResult
+from repro.workloads.cloudstone import MIX_50_50, Phases
+
+PHASES = Phases(10, 20, 5)
+
+
+def test_location_placements():
+    same = LocationConfig.SAME_ZONE.slave_placement()
+    other_zone = LocationConfig.DIFFERENT_ZONE.slave_placement()
+    other_region = LocationConfig.DIFFERENT_REGION.slave_placement()
+    assert same.zone == "us-east-1a"
+    assert other_zone.zone == "us-east-1b"
+    assert other_zone.region == "us-east-1"
+    assert other_region.region == "eu-west-1"
+
+
+def test_paper_factories_pin_data_sizes():
+    a = PAPER_50_50(LocationConfig.SAME_ZONE, 1, 50, PHASES)
+    b = PAPER_80_20(LocationConfig.SAME_ZONE, 1, 50, PHASES)
+    assert a.data_size == 300 and a.mix.name == "50/50"
+    assert b.data_size == 600 and b.mix.name == "80/20"
+
+
+def test_paper_user_grids_match_figure_axes():
+    assert USERS_50_50 == (50, 75, 100, 125, 150, 175, 200)
+    assert USERS_80_20 == (50, 100, 150, 200, 250, 300, 350, 400, 450)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(LocationConfig.SAME_ZONE, MIX_50_50,
+                         n_slaves=-1, n_users=10, data_size=10,
+                         phases=PHASES)
+    with pytest.raises(ValueError):
+        ExperimentConfig(LocationConfig.SAME_ZONE, MIX_50_50,
+                         n_slaves=1, n_users=0, data_size=10,
+                         phases=PHASES)
+    with pytest.raises(ValueError):
+        ExperimentConfig(LocationConfig.SAME_ZONE, MIX_50_50,
+                         n_slaves=1, n_users=10, data_size=0,
+                         phases=PHASES)
+
+
+def test_config_label():
+    config = PAPER_50_50(LocationConfig.DIFFERENT_REGION, 3, 125, PHASES)
+    assert "different_region" in config.label
+    assert "slaves=3" in config.label
+
+
+# ----------------------------------------------------- saturation detection
+def fake_sweep(users, throughputs):
+    sweep = SweepResult(LocationConfig.SAME_ZONE, "50/50", 1)
+    for n_users, tput in zip(users, throughputs):
+        config = PAPER_50_50(LocationConfig.SAME_ZONE, 1, n_users, PHASES)
+        sweep.results.append(ExperimentResult(
+            config=config, throughput=tput, achieved_read_fraction=0.5,
+            mean_latency_s=0.1, master_cpu=0.5, slave_cpus=[0.5],
+            relative_delay_ms=1.0))
+    return sweep
+
+
+def test_saturation_point_after_peak():
+    sweep = fake_sweep((50, 75, 100, 125, 150),
+                       (5.0, 8.0, 10.0, 9.5, 9.0))
+    assert saturation_point(sweep) == 125
+    assert max_throughput(sweep) == (100, 10.0)
+
+
+def test_saturation_point_flat_tail():
+    sweep = fake_sweep((50, 100, 150, 200), (5.0, 9.0, 9.9, 10.0))
+    assert saturation_point(sweep) == 200  # flat: saturated at the end
+
+
+def test_saturation_point_still_rising():
+    sweep = fake_sweep((50, 100, 150), (5.0, 8.0, 11.0))
+    assert saturation_point(sweep) is None

@@ -1,0 +1,55 @@
+"""Markdown report generator tests."""
+
+import pytest
+
+from repro.experiments import (LocationConfig, PAPER_50_50,
+                               run_fig4_clock_sync,
+                               run_rtt_characterization, run_user_sweep)
+from repro.experiments.report import (MarkdownReport, fig4_section,
+                                      grid_section, rtt_section)
+from repro.workloads.cloudstone import Phases
+
+TINY = Phases(10.0, 30.0, 5.0)
+
+
+def test_report_basic_blocks():
+    report = MarkdownReport("Test run")
+    report.add_heading("Section")
+    report.add_paragraph("Some text.")
+    report.add_table(["a", "b"], [["1", "2"], ["3", "4"]])
+    text = report.render()
+    assert text.startswith("# Test run")
+    assert "## Section" in text
+    assert "| a | b |" in text
+    assert "| 3 | 4 |" in text
+
+
+def test_report_save(tmp_path):
+    report = MarkdownReport("Saved")
+    report.add_paragraph("body")
+    path = tmp_path / "report.md"
+    report.save(path)
+    assert path.read_text().startswith("# Saved")
+
+
+def test_fig4_and_rtt_sections():
+    report = MarkdownReport("Characterizations")
+    fig4_section(report, run_fig4_clock_sync(duration=300.0))
+    rtt_section(report, run_rtt_characterization(probes=200))
+    text = report.render()
+    assert "sync_once" in text
+    assert "different_region" in text
+    assert "28.23" in text  # paper reference line
+
+
+def test_grid_section_renders_tables():
+    sweep = run_user_sweep(PAPER_50_50, LocationConfig.SAME_ZONE,
+                           n_slaves=1, users=(10, 25), phases=TINY,
+                           seed=9, baseline_duration=10.0, data_size=50)
+    report = MarkdownReport("Grid")
+    grid_section(report, [sweep], "50/50 same zone")
+    text = report.render()
+    assert "## 50/50 same zone" in text
+    assert "1-slave" in text
+    assert "**Saturation**" in text
+    assert "saturated resource" in text

@@ -1,0 +1,46 @@
+"""Shared fixtures for replication tests."""
+
+import pytest
+
+from repro.cloud import Cloud, DEFAULT_CATALOG, MASTER_PLACEMENT
+from repro.replication import ReplicationManager
+from repro.sim import RandomStreams, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def cloud(sim):
+    return Cloud(sim, RandomStreams(123))
+
+
+@pytest.fixture
+def manager(sim, cloud):
+    # NTP daemons run forever and would keep a bare ``sim.run()`` from
+    # terminating; tests that exercise NTP construct their own manager
+    # and run with an explicit horizon.
+    return ReplicationManager(sim, cloud, ntp_period=None)
+
+
+@pytest.fixture
+def master(manager):
+    master = manager.create_master(MASTER_PLACEMENT)
+    master.admin("CREATE TABLE items (id INTEGER PRIMARY KEY "
+                 "AUTO_INCREMENT, grp INTEGER, v INTEGER)")
+    master.admin("CREATE INDEX idx_grp ON items (grp)")
+    return master
+
+
+EU_WEST = DEFAULT_CATALOG.placement("eu-west-1a")
+US_EAST_B = DEFAULT_CATALOG.placement("us-east-1b")
+
+
+def run_process(sim, generator, until=None):
+    """Run a generator to completion and return its value."""
+    process = sim.process(generator)
+    sim.run(until=until)
+    assert process.triggered, "process did not finish"
+    return process.value

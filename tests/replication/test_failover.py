@@ -1,0 +1,181 @@
+"""Master-failover tests."""
+
+import pytest
+
+from repro.cloud import MASTER_PLACEMENT
+from repro.db import DatabaseError
+from repro.replication import best_candidate, fail_master, promote
+from tests.replication.conftest import EU_WEST, run_process
+
+
+def drive(sim, master, count, spacing=0.05):
+    def writer(sim, master):
+        for i in range(count):
+            try:
+                yield from master.perform(
+                    f"INSERT INTO items (grp, v) VALUES ({i % 3}, {i})")
+            except DatabaseError:
+                return  # master died mid-stream; the client gives up
+            yield sim.timeout(spacing)
+    return sim.process(writer(sim, master))
+
+
+def test_fail_master_rejects_clients(sim, manager, master):
+    manager.add_slave(MASTER_PLACEMENT)
+    fail_master(manager)
+
+    def client(master):
+        yield from master.perform("SELECT 1")
+
+    process = sim.process(client(master))
+    with pytest.raises(DatabaseError):
+        sim.run()
+
+
+def test_fail_master_requires_master(sim, manager):
+    with pytest.raises(DatabaseError):
+        fail_master(manager)
+
+
+def test_best_candidate_is_most_up_to_date(sim, manager, master):
+    near = manager.add_slave(MASTER_PLACEMENT, name="near")
+    far = manager.add_slave(EU_WEST, name="far")
+    drive(sim, master, 10, spacing=0.0)
+    sim.run(until=0.08)  # near has received; far's events still in flight
+    assert near.received_position > far.received_position
+    assert best_candidate(manager) is near
+
+
+def test_best_candidate_requires_slaves(sim, manager, master):
+    with pytest.raises(DatabaseError):
+        best_candidate(manager)
+
+
+def test_promote_refuses_online_master(sim, manager, master):
+    manager.add_slave(MASTER_PLACEMENT)
+
+    def attempt(manager):
+        yield from promote(manager)
+
+    process = sim.process(attempt(manager))
+    with pytest.raises(DatabaseError):
+        sim.run()
+
+
+def test_promotion_preserves_received_writes(sim, manager, master):
+    slave = manager.add_slave(MASTER_PLACEMENT)
+    drive(sim, master, 20, spacing=0.05)
+    sim.run()
+    reference = manager.data_checksum(master)
+    fail_master(manager)
+
+    def run_promote(manager):
+        new_master = yield from promote(manager)
+        return new_master
+
+    new_master = run_process(sim, run_promote(manager))
+    assert manager.master is new_master
+    assert manager.data_checksum(new_master) == reference
+    assert new_master.instance is slave.instance
+    assert manager.slaves == []
+
+
+def test_new_master_serves_writes(sim, manager, master):
+    manager.add_slave(MASTER_PLACEMENT)
+    manager.add_slave(MASTER_PLACEMENT)
+    drive(sim, master, 5, spacing=0.02)
+    sim.run()
+    fail_master(manager)
+
+    def failover_and_write(manager):
+        new_master = yield from promote(manager)
+        yield from new_master.perform(
+            "INSERT INTO items (grp, v) VALUES (9, 999)")
+        return new_master
+
+    new_master = run_process(sim, failover_and_write(manager))
+    assert new_master.admin(
+        "SELECT COUNT(*) FROM items WHERE v = 999").result.scalar() == 1
+    # The surviving slave replicates from the new master.
+    sim.run(until=sim.now + 5.0)
+    assert manager.all_caught_up()
+    assert manager.verify_consistency()
+
+
+def test_survivors_resync_from_new_master(sim, manager, master):
+    near = manager.add_slave(MASTER_PLACEMENT, name="near")
+    far = manager.add_slave(EU_WEST, name="far")
+    drive(sim, master, 15, spacing=0.05)
+    sim.run()
+    fail_master(manager)
+
+    def failover(manager):
+        yield from promote(manager)
+
+    run_process(sim, failover(manager))
+    assert len(manager.slaves) == 1
+    survivor = manager.slaves[0]
+    assert survivor.name == "far"
+    assert manager.data_checksum(survivor) == \
+        manager.data_checksum(manager.master)
+
+
+def test_async_failover_can_lose_unreplicated_writes(sim, manager, master):
+    """The paper's §II data-loss caveat: writes committed on the master
+    but not yet received by any slave vanish on failover."""
+    slave = manager.add_slave(EU_WEST)
+    drive(sim, master, 10, spacing=0.0)
+    # Fail the master while the tail of the binlog is still in flight
+    # across the ocean.
+    sim.run(until=0.05)
+    committed_on_master = master.admin(
+        "SELECT COUNT(*) FROM items").result.scalar()
+    dead = fail_master(manager)
+    received = slave.received_position
+
+    def failover(manager):
+        new_master = yield from promote(manager)
+        return new_master
+
+    new_master = run_process(sim, failover(manager))
+    surviving = new_master.admin(
+        "SELECT COUNT(*) FROM items").result.scalar()
+    lost = committed_on_master - surviving
+    assert lost > 0
+    assert dead.binlog.head_position > received
+
+
+def test_promoted_master_keeps_auto_increment_continuity(sim, manager,
+                                                         master):
+    manager.add_slave(MASTER_PLACEMENT)
+    drive(sim, master, 5, spacing=0.02)
+    sim.run()
+    fail_master(manager)
+
+    def failover_and_write(manager):
+        new_master = yield from promote(manager)
+        result = yield from new_master.perform(
+            "INSERT INTO items (grp, v) VALUES (0, 123)")
+        return result.result.lastrowid
+
+    lastrowid = run_process(sim, failover_and_write(manager))
+    assert lastrowid == 6  # continues the sequence, no pk reuse
+
+
+def test_proxy_repoints_after_failover(sim, manager, master):
+    manager.add_slave(MASTER_PLACEMENT)
+    manager.add_slave(MASTER_PLACEMENT)
+    proxy = manager.build_proxy(MASTER_PLACEMENT)
+    fail_master(manager)
+
+    def failover(manager):
+        new_master = yield from promote(manager)
+        return new_master
+
+    new_master = run_process(sim, failover(manager))
+    proxy.set_master(new_master)
+    proxy.slaves = list(manager.slaves)
+    from repro.sql import parse
+    assert proxy.route(parse("INSERT INTO items (grp, v) VALUES (1, 1)")) \
+        is new_master
+    assert proxy.route(parse("SELECT 1")) in manager.slaves

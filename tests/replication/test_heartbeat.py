@@ -1,0 +1,129 @@
+"""Heartbeat plugin and replication-delay estimator tests."""
+
+import pytest
+
+from repro.cloud import MASTER_PLACEMENT
+from repro.replication import (HEARTBEAT_TABLE, HeartbeatPlugin,
+                               average_relative_delay_ms, collect_delays)
+from tests.replication.conftest import EU_WEST
+
+
+@pytest.fixture
+def heartbeat(sim, manager, master):
+    plugin = HeartbeatPlugin(sim, master, interval=1.0)
+    plugin.install()
+    return plugin
+
+
+def test_install_creates_schema(heartbeat, master):
+    assert master.admin(
+        f"SELECT COUNT(*) FROM {HEARTBEAT_TABLE}").result.scalar() == 0
+
+
+def test_plugin_inserts_one_row_per_interval(sim, heartbeat, master):
+    heartbeat.start()
+    sim.run(until=10.5)
+    count = master.admin(
+        f"SELECT COUNT(*) FROM {HEARTBEAT_TABLE}").result.scalar()
+    assert count == 10
+    assert heartbeat.inserted_at[1] == pytest.approx(1.0, abs=0.2)
+
+
+def test_stop_halts_inserts(sim, heartbeat, master):
+    heartbeat.start()
+    sim.run(until=5.5)
+    heartbeat.stop()
+    sim.run(until=20.0)
+    count = master.admin(
+        f"SELECT COUNT(*) FROM {HEARTBEAT_TABLE}").result.scalar()
+    assert count == 5
+
+
+def test_bad_interval_rejected(sim, master):
+    with pytest.raises(ValueError):
+        HeartbeatPlugin(sim, master, interval=0.0)
+
+
+def test_double_start_rejected(sim, heartbeat):
+    heartbeat.start()
+    with pytest.raises(RuntimeError):
+        heartbeat.start()
+
+
+def test_heartbeats_replicate_with_slave_local_timestamps(
+        sim, manager, master, heartbeat):
+    """The slave's ts column must come from the slave's own clock —
+    the paper's measurement mechanism."""
+    slave = manager.add_slave(EU_WEST)
+    # Make the slave clock run visibly ahead so the effect is obvious.
+    slave.instance.clock.step_to_error(5.0)
+    heartbeat.start()
+    sim.run(until=4.5)
+    heartbeat.stop()
+    sim.run(until=10.0)
+    samples = collect_delays(heartbeat, slave)
+    assert len(samples) == 4
+    for sample in samples:
+        # ~5 s clock skew plus ~0.17 s propagation
+        assert 4.9 < sample.delay_ms / 1000.0 < 5.5
+
+
+def test_collect_delays_windowing(sim, manager, master, heartbeat):
+    slave = manager.add_slave(MASTER_PLACEMENT)
+    heartbeat.start()
+    sim.run(until=10.5)
+    heartbeat.stop()
+    sim.run(until=12.0)
+    all_samples = collect_delays(heartbeat, slave)
+    windowed = collect_delays(heartbeat, slave, window_start=3.0,
+                              window_end=7.0)
+    assert len(all_samples) == 10
+    assert len(windowed) == 4
+    assert all(3.0 <= s.inserted_simtime < 7.0 for s in windowed)
+
+
+def test_unapplied_heartbeats_are_censored(sim, manager, master, heartbeat):
+    slave = manager.add_slave(EU_WEST)
+    heartbeat.start()
+    sim.run(until=5.0)
+    # Advance to just past the *next* insert: its ~173 ms flight to
+    # eu-west means it cannot have been applied yet.
+    count_before = len(heartbeat.inserted_at)
+    while len(heartbeat.inserted_at) == count_before:
+        sim.step()
+    sim.run(until=sim.now + 0.05)
+    samples = collect_delays(heartbeat, slave)
+    assert len(samples) < len(heartbeat.inserted_at)
+
+
+def test_average_relative_delay_cancels_clock_skew(sim, manager, master,
+                                                   heartbeat):
+    slave = manager.add_slave(MASTER_PLACEMENT)
+    skew = 0.25  # constant 250 ms skew
+    slave.instance.clock.step_to_error(skew)
+    master.instance.clock.step_to_error(0.0)
+    heartbeat.start()
+    sim.run(until=30.5)
+    heartbeat.stop()
+    sim.run(until=32.0)
+    samples = collect_delays(heartbeat, slave)
+    baseline = samples[:15]
+    loaded = samples[15:]
+    relative = average_relative_delay_ms(loaded, baseline)
+    # No load in either window: the relative delay must be ~0 even
+    # though raw delays carry the 250 ms skew.
+    raw = sum(s.delay_ms for s in samples) / len(samples)
+    assert raw > 200.0
+    assert abs(relative) < 5.0
+
+
+def test_trimming_discards_outliers():
+    from repro.replication import HeartbeatSample
+
+    def sample(delay_s):
+        return HeartbeatSample(1, 0.0, delay_s, 0.0)
+
+    baseline = [sample(0.001)] * 20
+    loaded = [sample(0.002)] * 19 + [sample(9.0)]  # one network spike
+    relative = average_relative_delay_ms(loaded, baseline)
+    assert relative == pytest.approx(1.0, abs=0.2)

@@ -1,0 +1,169 @@
+"""Network-partition behaviour.
+
+The paper's §II: synchronous replication risks availability because
+"unreachable replicas due to network partitioning cause suspension of
+synchronization", while asynchronous replication stays available and
+catches up later.  These tests pin both behaviours.
+"""
+
+import pytest
+
+from repro.cloud import Cloud, DEFAULT_CATALOG, MASTER_PLACEMENT
+from repro.replication import ReplicationManager
+from repro.sim import RandomStreams, Simulator
+from tests.replication.conftest import run_process
+
+EU = DEFAULT_CATALOG.placement("eu-west-1a")
+
+
+def build(semi_sync=False, seed=201):
+    sim = Simulator()
+    cloud = Cloud(sim, RandomStreams(seed))
+    manager = ReplicationManager(sim, cloud, ntp_period=None,
+                                 semi_sync=semi_sync)
+    master = manager.create_master(MASTER_PLACEMENT)
+    master.admin("CREATE TABLE t (id INTEGER PRIMARY KEY "
+                 "AUTO_INCREMENT, v INTEGER)")
+    slave = manager.add_slave(EU)
+    return sim, cloud, manager, master, slave
+
+
+# ---------------------------------------------------------------- network
+def test_partition_validation():
+    sim = Simulator()
+    cloud = Cloud(sim, RandomStreams(1))
+    with pytest.raises(ValueError):
+        cloud.network.partition("us-east-1", "us-east-1")
+
+
+def test_partition_holds_and_heal_releases():
+    sim = Simulator()
+    cloud = Cloud(sim, RandomStreams(2))
+    inbox = []
+    cloud.network.partition("us-east-1", "eu-west-1")
+    cloud.network.send(MASTER_PLACEMENT, EU, payload="x",
+                       on_delivery=inbox.append)
+
+    def healer(sim, network):
+        yield sim.timeout(10.0)
+        network.heal("us-east-1", "eu-west-1")
+
+    sim.process(healer(sim, cloud.network))
+    sim.run()
+    assert inbox == ["x"]
+    assert sim.now > 10.0  # delivered only after heal + latency
+
+
+def test_unrelated_links_unaffected():
+    sim = Simulator()
+    cloud = Cloud(sim, RandomStreams(3))
+    cloud.network.partition("us-east-1", "eu-west-1")
+    ap = DEFAULT_CATALOG.placement("ap-northeast-1a")
+    inbox = []
+    cloud.network.send(MASTER_PLACEMENT, ap, payload="y",
+                       on_delivery=inbox.append)
+    sim.run()
+    assert inbox == ["y"]
+
+
+def test_when_healed_fires_immediately_when_up():
+    sim = Simulator()
+    cloud = Cloud(sim, RandomStreams(4))
+    ev = cloud.network.when_healed(MASTER_PLACEMENT, EU)
+    assert ev.triggered
+
+
+# ------------------------------------------------------------ replication
+def test_async_replication_suspends_then_catches_up():
+    sim, cloud, manager, master, slave = build(semi_sync=False)
+
+    def scenario(sim):
+        cloud.network.partition("us-east-1", "eu-west-1")
+        for i in range(10):
+            yield from master.perform(f"INSERT INTO t (v) VALUES ({i})")
+        partitioned_applied = slave.applied_position
+        yield sim.timeout(5.0)
+        assert slave.applied_position == partitioned_applied  # suspended
+        cloud.network.heal("us-east-1", "eu-west-1")
+        return partitioned_applied
+
+    applied_during = run_process(sim, scenario(sim))
+    sim.run()
+    assert applied_during < master.binlog.head_position
+    assert manager.all_caught_up()
+    assert manager.verify_consistency()
+
+
+def test_async_writes_stay_available_during_partition():
+    sim, cloud, manager, master, slave = build(semi_sync=False)
+    cloud.network.partition("us-east-1", "eu-west-1")
+
+    def writer(sim, master):
+        start = sim.now
+        yield from master.perform("INSERT INTO t (v) VALUES (1)")
+        return sim.now - start
+
+    elapsed = run_process(sim, writer(sim, master), until=5.0)
+    assert elapsed < 0.1  # unaffected by the partition
+    cloud.network.heal("us-east-1", "eu-west-1")
+    sim.run()
+    assert manager.all_caught_up()
+
+
+def test_semi_sync_blocks_during_partition():
+    """The §II availability hazard: a semi-sync master cannot commit
+    while its only slave is unreachable."""
+    sim, cloud, manager, master, slave = build(semi_sync=True)
+    cloud.network.partition("us-east-1", "eu-west-1")
+    finished = []
+
+    def writer(sim, master):
+        yield from master.perform("INSERT INTO t (v) VALUES (1)")
+        finished.append(sim.now)
+
+    sim.process(writer(sim, master))
+    sim.run(until=30.0)
+    assert finished == []  # suspended
+
+    cloud.network.heal("us-east-1", "eu-west-1")
+    sim.run(until=40.0)
+    assert len(finished) == 1  # commit completed after the heal
+
+
+def test_channel_preserves_order_across_partition():
+    sim, cloud, manager, master, slave = build(seed=202)
+
+    def scenario(sim):
+        yield from master.perform("INSERT INTO t (v) VALUES (0)")
+        cloud.network.partition("us-east-1", "eu-west-1")
+        for i in range(1, 6):
+            yield from master.perform(f"INSERT INTO t (v) VALUES ({i})")
+        cloud.network.heal("us-east-1", "eu-west-1")
+        for i in range(6, 9):
+            yield from master.perform(f"INSERT INTO t (v) VALUES ({i})")
+
+    run_process(sim, scenario(sim))
+    sim.run()
+    rows = slave.admin("SELECT v FROM t ORDER BY id").result.rows
+    assert rows == [(i,) for i in range(9)]
+    assert manager.verify_consistency()
+
+
+def test_repartition_before_flush_reholds_traffic():
+    sim = Simulator()
+    cloud = Cloud(sim, RandomStreams(5))
+    from repro.replication import OrderedChannel
+    inbox = []
+    channel = OrderedChannel(cloud.network, MASTER_PLACEMENT, EU,
+                             on_delivery=inbox.append)
+    cloud.network.partition("us-east-1", "eu-west-1")
+    channel.send("a")
+    # Heal and immediately re-partition: the flush callback must not
+    # leak the message through the second partition.
+    cloud.network.heal("us-east-1", "eu-west-1")
+    cloud.network.partition("us-east-1", "eu-west-1")
+    sim.run(until=5.0)
+    assert inbox == []
+    cloud.network.heal("us-east-1", "eu-west-1")
+    sim.run()
+    assert inbox == ["a"]

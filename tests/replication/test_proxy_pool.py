@@ -1,0 +1,176 @@
+"""Proxy routing and connection pool tests."""
+
+import pytest
+
+from repro.cloud import MASTER_PLACEMENT
+from repro.replication import ConnectionPool
+from repro.sim import RandomStreams
+from repro.sql import parse
+from tests.replication.conftest import EU_WEST, US_EAST_B, run_process
+
+
+@pytest.fixture
+def cluster(sim, manager, master):
+    slaves = [manager.add_slave(MASTER_PLACEMENT, name=f"s{i}")
+              for i in range(3)]
+    proxy = manager.build_proxy(MASTER_PLACEMENT)
+    return master, slaves, proxy
+
+
+def test_writes_route_to_master(cluster):
+    master, _slaves, proxy = cluster
+    stmt = parse("INSERT INTO items (grp, v) VALUES (1, 1)")
+    assert proxy.route(stmt) is master
+    assert proxy.writes_routed == 1
+
+
+def test_transaction_control_routes_to_master(cluster):
+    master, _slaves, proxy = cluster
+    assert proxy.route(parse("BEGIN")) is master
+    assert proxy.route(parse("COMMIT")) is master
+
+
+def test_reads_round_robin_over_slaves(cluster):
+    _master, slaves, proxy = cluster
+    stmt = parse("SELECT * FROM items")
+    picked = [proxy.route(stmt).name for _ in range(6)]
+    assert picked == ["s0", "s1", "s2", "s0", "s1", "s2"]
+    assert proxy.reads_routed == 6
+
+
+def test_reads_fall_back_to_master_without_slaves(sim, manager, master):
+    proxy = manager.build_proxy(MASTER_PLACEMENT)
+    assert proxy.route(parse("SELECT 1")) is master
+
+
+def test_random_policy(sim, manager, master):
+    for i in range(3):
+        manager.add_slave(MASTER_PLACEMENT, name=f"s{i}")
+    rng = RandomStreams(5).stream("proxy")
+    proxy = manager.build_proxy(MASTER_PLACEMENT, policy="random", rng=rng)
+    picked = {proxy.route(parse("SELECT 1")).name for _ in range(60)}
+    assert picked == {"s0", "s1", "s2"}
+
+
+def test_random_policy_requires_rng(sim, manager, master):
+    with pytest.raises(ValueError):
+        manager.build_proxy(MASTER_PLACEMENT, policy="random")
+
+
+def test_unknown_policy_rejected(sim, manager, master):
+    with pytest.raises(ValueError):
+        manager.build_proxy(MASTER_PLACEMENT, policy="fastest")
+
+
+def test_least_outstanding_policy(sim, manager, master):
+    slow = manager.add_slave(MASTER_PLACEMENT, name="busy")
+    idle = manager.add_slave(MASTER_PLACEMENT, name="idle")
+    proxy = manager.build_proxy(MASTER_PLACEMENT,
+                                policy="least_outstanding")
+    proxy._outstanding["busy"] = 5
+    assert proxy.route(parse("SELECT 1")) is idle
+
+
+def test_proxy_execute_round_trip(sim, cluster):
+    master, _slaves, proxy = cluster
+
+    def client(sim, proxy):
+        yield from proxy.execute("INSERT INTO items (grp, v) VALUES (0, 7)")
+        result = yield from proxy.execute("SELECT COUNT(*) FROM items")
+        return result.result.scalar()
+
+    # The read goes to a slave; run long enough for replication.
+    def full(sim, proxy):
+        yield from proxy.execute("INSERT INTO items (grp, v) VALUES (0, 7)")
+        yield sim.timeout(1.0)
+        result = yield from proxy.execute("SELECT COUNT(*) FROM items")
+        return result.result.scalar()
+
+    assert run_process(sim, full(sim, proxy)) == 1
+
+
+def test_proxy_pinned_server(sim, cluster):
+    master, slaves, proxy = cluster
+
+    def client(proxy, server):
+        result = yield from proxy.execute("SELECT COUNT(*) FROM items",
+                                          server=server)
+        return result
+
+    run_process(sim, client(proxy, slaves[2]))
+    assert slaves[2].queries_served == 1
+    assert all(s.queries_served == 0 for s in slaves[:2])
+
+
+def test_remote_read_pays_network_latency(sim, manager, master):
+    manager.add_slave(EU_WEST, name="far")
+    proxy = manager.build_proxy(MASTER_PLACEMENT)
+
+    def client(sim, proxy):
+        start = sim.now
+        yield from proxy.execute("SELECT 1")
+        return sim.now - start
+
+    elapsed = run_process(sim, client(sim, proxy))
+    assert elapsed > 0.3  # ~two 173 ms legs
+
+
+# ---------------------------------------------------------------- pool
+def test_pool_limits_concurrency(sim):
+    pool = ConnectionPool(sim, max_active=2)
+    holding = []
+
+    def user(sim, pool, tag):
+        conn = yield from pool.acquire()
+        holding.append((tag, sim.now))
+        yield sim.timeout(1.0)
+        pool.release(conn)
+
+    for tag in range(4):
+        sim.process(user(sim, pool, tag))
+    sim.run()
+    times = dict(holding)
+    assert times[0] == 0.0 and times[1] == 0.0
+    assert times[2] == 1.0 and times[3] == 1.0
+
+
+def test_pool_counters(sim):
+    pool = ConnectionPool(sim, max_active=1)
+
+    def user(sim, pool):
+        conn = yield from pool.acquire()
+        yield sim.timeout(2.0)
+        pool.release(conn)
+
+    sim.process(user(sim, pool))
+    sim.process(user(sim, pool))
+    sim.run()
+    assert pool.total_borrows == 2
+    assert pool.mean_wait_time == pytest.approx(1.0)
+    assert pool.active == 0
+
+
+def test_pool_rejects_bad_size(sim):
+    from repro.sim import SimulationError
+    with pytest.raises(SimulationError):
+        ConnectionPool(sim, max_active=0)
+
+
+def test_pool_active_and_waiting_gauges(sim):
+    pool = ConnectionPool(sim, max_active=1)
+    snapshots = []
+
+    def user(sim, pool):
+        conn = yield from pool.acquire()
+        yield sim.timeout(1.0)
+        pool.release(conn)
+
+    def sampler(sim, pool):
+        yield sim.timeout(0.5)
+        snapshots.append((pool.active, pool.waiting))
+
+    sim.process(user(sim, pool))
+    sim.process(user(sim, pool))
+    sim.process(sampler(sim, pool))
+    sim.run()
+    assert snapshots == [(1, 1)]

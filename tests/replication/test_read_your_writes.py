@@ -1,0 +1,112 @@
+"""Read-your-writes session stickiness tests."""
+
+import pytest
+
+from repro.cloud import MASTER_PLACEMENT
+from repro.sql import parse
+from tests.replication.conftest import run_process
+
+READ = parse("SELECT * FROM items")
+WRITE = parse("INSERT INTO items (grp, v) VALUES (1, 1)")
+
+
+@pytest.fixture
+def sticky_proxy(sim, manager, master):
+    for i in range(2):
+        manager.add_slave(MASTER_PLACEMENT, name=f"s{i}")
+    proxy = manager.build_proxy(MASTER_PLACEMENT)
+    proxy.read_your_writes_window = 5.0
+    return proxy
+
+
+def test_window_validation(sim, manager, master):
+    from repro.replication import ReadWriteSplitProxy
+    with pytest.raises(ValueError):
+        ReadWriteSplitProxy(manager.cloud.network, master, [],
+                            MASTER_PLACEMENT,
+                            read_your_writes_window=-1.0)
+
+
+def test_reads_stick_to_master_after_write(sim, sticky_proxy, master):
+    assert sticky_proxy.route(READ, session="u1") is not master
+    assert sticky_proxy.route(WRITE, session="u1") is master
+    assert sticky_proxy.route(READ, session="u1") is master
+    assert sticky_proxy.sticky_reads == 1
+
+
+def test_stickiness_is_per_session(sim, sticky_proxy, master):
+    sticky_proxy.route(WRITE, session="writer")
+    assert sticky_proxy.route(READ, session="writer") is master
+    assert sticky_proxy.route(READ, session="reader") is not master
+    assert sticky_proxy.route(READ, session=None) is not master
+
+
+def test_stickiness_expires_with_window(sim, sticky_proxy, master):
+    sticky_proxy.route(WRITE, session="u1")
+
+    def later(sim):
+        yield sim.timeout(6.0)
+        return sticky_proxy.route(READ, session="u1")
+
+    target = run_process(sim, later(sim))
+    assert target is not master
+
+
+def test_zero_window_never_sticks(sim, manager, master):
+    manager.add_slave(MASTER_PLACEMENT)
+    proxy = manager.build_proxy(MASTER_PLACEMENT)
+    assert proxy.read_your_writes_window == 0.0
+    proxy.route(WRITE, session="u1")
+    assert proxy.route(READ, session="u1") is not master
+    assert proxy.sticky_reads == 0
+
+
+def test_read_your_writes_eliminates_stale_miss(sim, manager, master):
+    """The behavioural payoff: a write-then-read session never misses
+    its own row, while a plain session reading a lagging slave does."""
+    manager.add_slave(manager.cloud.placement("eu-west-1a"))
+    sticky_proxy = manager.build_proxy(MASTER_PLACEMENT)
+    sticky_proxy.read_your_writes_window = 30.0
+    plain_proxy = manager.build_proxy(MASTER_PLACEMENT)
+
+    slave = manager.slaves[0]
+
+    def backlog(sim, master):
+        # Pile events into the slave's relay log so replication of the
+        # probe write is visibly delayed.
+        for i in range(80):
+            yield from master.perform(
+                f"INSERT INTO items (grp, v) VALUES (0, {i})")
+
+    def read_pressure(sim, slave):
+        # Contend the slave CPU so its SQL thread drains the relay log
+        # slowly — the paper's Figs. 5/6 mechanism.
+        while sim.now < 20.0:
+            yield from slave.perform("SELECT COUNT(*) FROM items")
+
+    for _ in range(3):
+        sim.process(read_pressure(sim, slave))
+
+    def probe(sim, proxy, marker):
+        # Join once the backlog writer is well ahead, so this probe's
+        # binlog event sits deep in the slave's pending stream.
+        yield sim.timeout(1.5)
+        session = f"user-{marker}"
+        insert = parse(f"INSERT INTO items (grp, v) VALUES (7, {marker})")
+        yield from proxy.execute(
+            insert, server=proxy.route(insert, session=session))
+        read = parse(f"SELECT COUNT(*) FROM items WHERE v = {marker}")
+        result = yield from proxy.execute(
+            read, server=proxy.route(read, session=session))
+        return result.result.scalar()
+
+    sim.process(backlog(sim, master))
+    sticky_probe = sim.process(probe(sim, sticky_proxy, 7001))
+    plain_probe = sim.process(probe(sim, plain_proxy, 8001))
+    sim.run(until=6.0)
+    assert sticky_probe.value >= 1   # read its own write on the master
+    assert plain_probe.value == 0    # stale read on the lagging slave
+    # Eventually consistent: the row does arrive.
+    sim.run()
+    assert slave.admin("SELECT COUNT(*) FROM items WHERE v = 8001"
+                       ).result.scalar() == 1

@@ -1,0 +1,132 @@
+"""DatabaseServer and CostModel tests."""
+
+import pytest
+
+from repro.cloud import MASTER_PLACEMENT, SMALL
+from repro.db import DatabaseError
+from repro.db.engine import ExecutionProfile
+from repro.replication import DEFAULT_COST_MODEL, CostModel, DatabaseServer
+from tests.replication.conftest import run_process
+
+
+def make_server(sim, cloud, read_only=False):
+    instance = cloud.launch(SMALL, MASTER_PLACEMENT)
+    server = DatabaseServer(sim, instance, read_only=read_only)
+    server.admin("CREATE DATABASE IF NOT EXISTS cloudstone")
+    server.admin("CREATE TABLE t (id INTEGER PRIMARY KEY AUTO_INCREMENT, "
+                 "v INTEGER)")
+    return server
+
+
+def test_perform_charges_cpu(sim, cloud):
+    server = make_server(sim, cloud)
+
+    def client(sim, server):
+        yield from server.perform("INSERT INTO t (v) VALUES (1)")
+        return sim.now
+
+    finished = run_process(sim, client(sim, server))
+    expected_work = DEFAULT_COST_MODEL.work_for(
+        ExecutionProfile("insert", rows_affected=1))
+    assert finished == pytest.approx(
+        expected_work / server.instance.effective_speed)
+    assert server.queries_served == 1
+    assert server.writes_served == 1
+
+
+def test_admin_is_free(sim, cloud):
+    server = make_server(sim, cloud)
+    server.admin("INSERT INTO t (v) VALUES (1)")
+    assert sim.now == 0.0
+    assert server.instance.busy_time == 0.0
+
+
+def test_read_only_rejects_writes(sim, cloud):
+    server = make_server(sim, cloud, read_only=True)
+
+    def client(server):
+        yield from server.perform("INSERT INTO t (v) VALUES (1)")
+
+    process = sim.process(client(server))
+    with pytest.raises(DatabaseError):
+        sim.run()
+    assert process.triggered
+
+
+def test_read_only_allows_reads(sim, cloud):
+    server = make_server(sim, cloud, read_only=True)
+    server.admin("INSERT INTO t (v) VALUES (5)")
+
+    def client(server):
+        result = yield from server.perform("SELECT v FROM t")
+        return result.result.rows
+
+    assert run_process(sim, client(server)) == [(5,)]
+
+
+def test_concurrent_queries_queue_on_cpu(sim, cloud):
+    server = make_server(sim, cloud)
+    finish_times = []
+
+    def client(sim, server):
+        yield from server.perform("SELECT * FROM t")
+        finish_times.append(sim.now)
+
+    for _ in range(3):
+        sim.process(client(sim, server))
+    sim.run()
+    # Single core: completions must be strictly serialized.
+    assert finish_times[1] == pytest.approx(2 * finish_times[0])
+    assert finish_times[2] == pytest.approx(3 * finish_times[0])
+
+
+def test_slower_instance_takes_longer(sim, cloud):
+    fast = cloud.launch(SMALL, MASTER_PLACEMENT, name="fast")
+    slow = cloud.launch(SMALL, MASTER_PLACEMENT, name="slow")
+    fast.host_noise = 1.0
+    slow.host_noise = 1.0
+    fast.cpu_model = type(fast.cpu_model)("fast", 1.0)
+    slow.cpu_model = type(slow.cpu_model)("slow", 0.5)
+    durations = {}
+
+    def client(sim, server, tag):
+        start = sim.now
+        yield from server.perform("SELECT 1")
+        durations[tag] = sim.now - start
+
+    for tag, instance in (("fast", fast), ("slow", slow)):
+        server = DatabaseServer(sim, instance)
+        sim.process(client(sim, server, tag))
+    sim.run()
+    assert durations["slow"] == pytest.approx(2 * durations["fast"])
+
+
+# ------------------------------------------------------------- cost model
+def test_cost_scales_with_rows_examined():
+    model = CostModel()
+    cheap = model.work_for(ExecutionProfile("select", rows_examined=1))
+    pricey = model.work_for(ExecutionProfile("select", rows_examined=300))
+    assert pricey > cheap
+    assert pricey - cheap == pytest.approx(299 * model.per_row_examined_s)
+
+
+def test_write_cost_exceeds_point_read_cost():
+    model = CostModel()
+    write = model.work_for(ExecutionProfile("insert", rows_affected=1))
+    read = model.work_for(ExecutionProfile("select", rows_examined=1,
+                                           rows_returned=1))
+    assert write > read
+
+
+def test_apply_cost_cheaper_than_client_write():
+    model = CostModel()
+    profile = ExecutionProfile("insert", rows_affected=3)
+    assert model.apply_work_for(profile) == \
+        pytest.approx(model.work_for(profile) * model.apply_cost_factor)
+    assert model.apply_work_for(profile) < model.work_for(profile)
+
+
+def test_ddl_cost():
+    model = CostModel()
+    assert model.work_for(ExecutionProfile("ddl")) == \
+        pytest.approx(model.per_statement_s + model.per_ddl_s)

@@ -1,0 +1,70 @@
+"""Tests for deterministic named RNG streams."""
+
+import numpy as np
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_name_reproduces():
+    a = RandomStreams(seed=7).stream("net").random(5)
+    b = RandomStreams(seed=7).stream("net").random(5)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_independent():
+    streams = RandomStreams(seed=7)
+    a = streams.stream("net").random(5)
+    b = streams.stream("cpu").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(seed=1).stream("net").random(5)
+    b = RandomStreams(seed=2).stream("net").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(seed=0)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_spawn_indexed_streams_differ():
+    streams = RandomStreams(seed=0)
+    a = streams.spawn("user", 0).random(3)
+    b = streams.spawn("user", 1).random(3)
+    assert not np.array_equal(a, b)
+
+
+def test_lognormal_around_median():
+    streams = RandomStreams(seed=3)
+    samples = [streams.lognormal_around("lat", median=10.0, sigma=0.2)
+               for _ in range(4000)]
+    assert abs(np.median(samples) - 10.0) < 0.5
+
+
+def test_choice_weighted_respects_weights():
+    streams = RandomStreams(seed=4)
+    picks = [streams.choice_weighted("mix", ["r", "w"], [9.0, 1.0])
+             for _ in range(2000)]
+    read_fraction = picks.count("r") / len(picks)
+    assert 0.85 < read_fraction < 0.95
+
+
+def test_choice_unweighted():
+    streams = RandomStreams(seed=5)
+    picks = {streams.choice_weighted("c", [1, 2, 3]) for _ in range(100)}
+    assert picks == {1, 2, 3}
+
+
+def test_exponential_mean():
+    streams = RandomStreams(seed=6)
+    samples = [streams.exponential("think", 5.0) for _ in range(5000)]
+    assert abs(np.mean(samples) - 5.0) < 0.3
+
+
+def test_uniform_bounds():
+    streams = RandomStreams(seed=8)
+    for _ in range(100):
+        x = streams.uniform("u", 2.0, 3.0)
+        assert 2.0 <= x < 3.0

@@ -1,0 +1,101 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.sql.lexer import LexerError, tokenize
+from repro.sql.tokens import TokenType
+
+
+def types_of(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values_of(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+def test_empty_input_gives_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].type is TokenType.EOF
+
+
+def test_keywords_are_case_insensitive():
+    for text in ("select", "SELECT", "SeLeCt"):
+        token = tokenize(text)[0]
+        assert token.type is TokenType.KEYWORD
+        assert token.value == "SELECT"
+
+
+def test_identifiers_lowercased():
+    token = tokenize("MyTable")[0]
+    assert token.type is TokenType.IDENTIFIER
+    assert token.value == "mytable"
+
+
+def test_backquoted_identifier():
+    token = tokenize("`Weird Name`")[0]
+    assert token.type is TokenType.IDENTIFIER
+    assert token.value == "weird name"
+
+
+def test_unterminated_backquote():
+    with pytest.raises(LexerError):
+        tokenize("`oops")
+
+
+def test_numbers():
+    assert values_of("1 42 3.14 .5 1e3 2.5E-2") == \
+        ["1", "42", "3.14", ".5", "1e3", "2.5E-2"]
+    for token in tokenize("1 3.14")[:-1]:
+        assert token.type is TokenType.NUMBER
+
+
+def test_single_quoted_string():
+    token = tokenize("'hello world'")[0]
+    assert token.type is TokenType.STRING
+    assert token.value == "hello world"
+
+
+def test_string_escapes():
+    assert tokenize(r"'a\'b'")[0].value == "a'b"
+    assert tokenize("'a''b'")[0].value == "a'b"
+    assert tokenize(r"'line\nbreak'")[0].value == "line\nbreak"
+
+
+def test_unterminated_string():
+    with pytest.raises(LexerError):
+        tokenize("'oops")
+
+
+def test_operators():
+    assert values_of("< > = <= >= != <> + - / %") == \
+        ["<", ">", "=", "<=", ">=", "!=", "<>", "+", "-", "/", "%"]
+
+
+def test_star_and_punctuation():
+    assert types_of("(*, .);")[:-1] == [
+        TokenType.LPAREN, TokenType.STAR, TokenType.COMMA, TokenType.DOT,
+        TokenType.RPAREN, TokenType.SEMICOLON]
+
+
+def test_param_placeholder():
+    tokens = tokenize("id = ?")
+    assert tokens[2].type is TokenType.PARAM
+
+
+def test_line_comment_skipped():
+    tokens = tokenize("SELECT 1 -- trailing comment\n+ 2")
+    assert [t.value for t in tokens[:-1]] == ["SELECT", "1", "+", "2"]
+
+
+def test_unexpected_character():
+    with pytest.raises(LexerError):
+        tokenize("SELECT @var")
+
+
+def test_whole_statement():
+    values = values_of(
+        "SELECT id FROM users WHERE name = 'bob' LIMIT 5")
+    assert values == ["SELECT", "id", "FROM", "users", "WHERE", "name",
+                      "=", "bob", "LIMIT", "5"]

@@ -1,0 +1,117 @@
+"""Property-based tests over the SQL front end."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import (EvalContext, evaluate, parse, render_expression,
+                       render_statement)
+from repro.sql.ast import (BinaryOp, ColumnRef, Literal, SelectStatement,
+                           UnaryOp)
+
+# -------------------------------------------------- expression strategies
+literals = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6).map(Literal),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+              allow_infinity=False).map(Literal),
+    st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=12).map(Literal),
+    st.booleans().map(Literal),
+    st.just(Literal(None)),
+)
+
+columns = st.sampled_from(["a", "b", "c"]).map(ColumnRef)
+
+
+def expressions(depth=3):
+    if depth == 0:
+        return st.one_of(literals, columns)
+    sub = expressions(depth - 1)
+    return st.one_of(
+        literals,
+        columns,
+        st.builds(BinaryOp,
+                  st.sampled_from(["+", "-", "*", "=", "!=", "<", ">",
+                                   "<=", ">=", "AND", "OR"]),
+                  sub, sub),
+        st.builds(UnaryOp, st.just("NOT"), sub),
+    )
+
+
+ROW = {"t.a": 1, "t.b": 2.5, "t.c": "x"}
+
+
+@given(expr=expressions())
+@settings(max_examples=400, deadline=None)
+def test_expression_render_parse_reaches_fixed_point(expr):
+    """After one normalization pass (e.g. ``-1`` becomes unary minus),
+    render -> parse -> render is a fixed point."""
+    once = render_expression(
+        parse(f"SELECT {render_expression(expr)}").items[0].expression)
+    twice = render_expression(
+        parse(f"SELECT {once}").items[0].expression)
+    assert twice == once
+
+
+@given(expr=expressions())
+@settings(max_examples=400, deadline=None)
+def test_round_tripped_expression_evaluates_identically(expr):
+    """Statement-based replication correctness at expression level:
+    the re-parsed text evaluates to exactly the original value."""
+    ctx = EvalContext(row=ROW)
+
+    def safe_eval(e):
+        try:
+            return ("ok", evaluate(e, ctx))
+        except Exception as exc:  # comparison of mixed types, etc.
+            return ("err", type(exc).__name__)
+
+    original = safe_eval(expr)
+    reparsed = parse(f"SELECT {render_expression(expr)}").items[0].expression
+    assert safe_eval(reparsed) == original
+
+
+@given(values=st.lists(st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=10),
+    st.none()), min_size=1, max_size=8))
+@settings(max_examples=300, deadline=None)
+def test_insert_statement_round_trip_preserves_values(values):
+    """A bound INSERT inlined into binlog text re-parses to the same
+    stored values."""
+    placeholders = ", ".join("?" for _ in values)
+    columns = ", ".join(f"c{i}" for i in range(len(values)))
+    stmt = parse(f"INSERT INTO t ({columns}) VALUES ({placeholders})")
+    text = render_statement(stmt, params=values)
+    replayed = parse(text)
+    ctx = EvalContext()
+    got = [evaluate(e, ctx) for e in replayed.rows[0]]
+    assert got == list(values)
+
+
+@given(low=st.integers(min_value=-100, max_value=100),
+       span=st.integers(min_value=0, max_value=50),
+       probe=st.integers(min_value=-200, max_value=200))
+@settings(max_examples=200, deadline=None)
+def test_between_equivalence(low, span, probe):
+    high = low + span
+    ctx = EvalContext()
+    between = evaluate(parse(
+        f"SELECT {probe} BETWEEN {low} AND {high}").items[0].expression,
+        ctx)
+    manual = evaluate(parse(
+        f"SELECT {probe} >= {low} AND {probe} <= {high}"
+    ).items[0].expression, ctx)
+    assert between == manual
+
+
+@given(pattern=st.text(alphabet="ab%_", max_size=6),
+       value=st.text(alphabet="ab", max_size=6))
+@settings(max_examples=300, deadline=None)
+def test_like_never_crashes_and_is_deterministic(pattern, value):
+    from repro.sql import like_match
+    first = like_match(value, pattern)
+    assert like_match(value, pattern) == first
+    if "%" not in pattern and "_" not in pattern:
+        assert first == (value.lower() == pattern.lower())

@@ -1,0 +1,140 @@
+"""Load-generator tests (small closed-loop runs)."""
+
+import pytest
+
+from repro.cloud import Cloud, MASTER_PLACEMENT
+from repro.replication import ConnectionPool, ReplicationManager
+from repro.sim import RandomStreams, Simulator
+from repro.workloads.cloudstone import (LoadGenerator, MIX_50_50, MIX_80_20,
+                                        Phases, load_initial_data)
+
+
+def build_rig(seed=21, n_slaves=1, data_size=40):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    cloud = Cloud(sim, streams)
+    manager = ReplicationManager(sim, cloud, ntp_period=None)
+    master = manager.create_master(MASTER_PLACEMENT)
+    state = load_initial_data(master, data_size, streams.stream("loader"))
+    for _ in range(n_slaves):
+        manager.add_slave(MASTER_PLACEMENT)
+    proxy = manager.build_proxy(MASTER_PLACEMENT)
+    pool = ConnectionPool(sim, max_active=64)
+    return sim, streams, manager, proxy, pool, state
+
+
+PHASES = Phases(ramp_up=10.0, steady=40.0, ramp_down=5.0)
+
+
+def test_phases_arithmetic():
+    phases = Phases(600, 1200, 300)
+    assert phases.steady_start == 600
+    assert phases.steady_end == 1800
+    assert phases.total == 2100
+    scaled = phases.scaled(0.1)
+    assert scaled.total == pytest.approx(210)
+
+
+def test_generator_validations():
+    sim, streams, manager, proxy, pool, state = build_rig()
+    with pytest.raises(ValueError):
+        LoadGenerator(sim, proxy, pool, MIX_50_50, state, streams,
+                      n_users=0)
+    with pytest.raises(ValueError):
+        LoadGenerator(sim, proxy, pool, MIX_50_50, state, streams,
+                      n_users=5, think_time_mean=0.0)
+
+
+def test_double_start_rejected():
+    sim, streams, manager, proxy, pool, state = build_rig()
+    generator = LoadGenerator(sim, proxy, pool, MIX_50_50, state, streams,
+                              n_users=2, phases=PHASES)
+    generator.start()
+    with pytest.raises(RuntimeError):
+        generator.start()
+
+
+def test_users_complete_operations():
+    sim, streams, manager, proxy, pool, state = build_rig()
+    generator = LoadGenerator(sim, proxy, pool, MIX_50_50, state, streams,
+                              n_users=10, think_time_mean=2.0,
+                              phases=PHASES)
+    generator.start()
+    sim.run(until=PHASES.total)
+    assert len(generator.completions) > 50
+    assert generator.steady_throughput() > 1.0
+    assert generator.op_counts  # several operation kinds ran
+
+
+def test_achieved_ratio_tracks_mix():
+    sim, streams, manager, proxy, pool, state = build_rig(seed=22)
+    generator = LoadGenerator(sim, proxy, pool, MIX_80_20, state, streams,
+                              n_users=20, think_time_mean=1.0,
+                              phases=PHASES)
+    generator.start()
+    sim.run(until=PHASES.total)
+    assert 0.72 < generator.steady_read_write_ratio() < 0.88
+
+
+def test_reads_hit_slaves_writes_hit_master():
+    sim, streams, manager, proxy, pool, state = build_rig(seed=23,
+                                                          n_slaves=2)
+    generator = LoadGenerator(sim, proxy, pool, MIX_50_50, state, streams,
+                              n_users=10, think_time_mean=1.5,
+                              phases=PHASES)
+    generator.start()
+    sim.run(until=PHASES.total)
+    master = manager.master
+    assert master.writes_served > 0
+    # Master serves no client SELECT-only operations.
+    assert all(slave.queries_served > 0 for slave in manager.slaves)
+    assert all(slave.writes_served == 0 for slave in manager.slaves)
+
+
+def test_workload_preserves_replica_consistency():
+    sim, streams, manager, proxy, pool, state = build_rig(seed=24,
+                                                          n_slaves=2)
+    generator = LoadGenerator(sim, proxy, pool, MIX_50_50, state, streams,
+                              n_users=8, think_time_mean=1.0,
+                              phases=PHASES)
+    generator.start()
+    sim.run(until=PHASES.total)
+    sim.run(until=PHASES.total + 120.0)  # drain replication
+    assert manager.all_caught_up()
+    assert manager.verify_consistency()
+
+
+def test_throughput_increases_with_users_before_saturation():
+    def throughput(n_users):
+        sim, streams, manager, proxy, pool, state = build_rig(seed=25)
+        generator = LoadGenerator(sim, proxy, pool, MIX_50_50, state,
+                                  streams, n_users=n_users,
+                                  think_time_mean=5.0, phases=PHASES)
+        generator.start()
+        sim.run(until=PHASES.total)
+        return generator.steady_throughput()
+
+    assert throughput(20) > 1.5 * throughput(5)
+
+
+def test_mean_latency_positive():
+    sim, streams, manager, proxy, pool, state = build_rig(seed=26)
+    generator = LoadGenerator(sim, proxy, pool, MIX_50_50, state, streams,
+                              n_users=5, think_time_mean=2.0,
+                              phases=PHASES)
+    generator.start()
+    sim.run(until=PHASES.total)
+    assert generator.steady_mean_latency() > 0.0
+
+
+def test_steady_window_offsets_from_start_time():
+    sim, streams, manager, proxy, pool, state = build_rig(seed=27)
+    sim.run(until=50.0)  # start late, like after a baseline phase
+    generator = LoadGenerator(sim, proxy, pool, MIX_50_50, state, streams,
+                              n_users=5, think_time_mean=2.0,
+                              phases=PHASES)
+    generator.start()
+    assert generator.t0 == 50.0
+    assert generator.steady_window == (60.0, 100.0)
+    sim.run(until=50.0 + PHASES.total)
+    assert generator.steady_throughput() > 0.0

@@ -1,0 +1,70 @@
+"""Driver behaviour around sessions, stickiness and phases."""
+
+import pytest
+
+from repro.cloud import Cloud, MASTER_PLACEMENT
+from repro.replication import ConnectionPool, ReplicationManager
+from repro.sim import RandomStreams, Simulator
+from repro.workloads.cloudstone import (LoadGenerator, MIX_50_50, Phases,
+                                        load_initial_data)
+
+PHASES = Phases(ramp_up=5.0, steady=40.0, ramp_down=5.0)
+
+
+def build(seed=31, window=0.0, n_slaves=2):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    cloud = Cloud(sim, streams)
+    manager = ReplicationManager(sim, cloud, ntp_period=None)
+    master = manager.create_master(MASTER_PLACEMENT)
+    state = load_initial_data(master, 40, streams.stream("loader"))
+    for _ in range(n_slaves):
+        manager.add_slave(MASTER_PLACEMENT)
+    proxy = manager.build_proxy(MASTER_PLACEMENT)
+    proxy.read_your_writes_window = window
+    pool = ConnectionPool(sim, max_active=64)
+    generator = LoadGenerator(sim, proxy, pool, MIX_50_50, state, streams,
+                              n_users=12, think_time_mean=1.0,
+                              phases=PHASES)
+    return sim, manager, proxy, generator
+
+
+def test_driver_feeds_sessions_to_proxy():
+    sim, manager, proxy, generator = build(window=3.0)
+    generator.start()
+    sim.run(until=PHASES.total)
+    # With think time ~1 s < window 3 s, users frequently read right
+    # after their own writes -> sticky reads occur.
+    assert proxy.sticky_reads > 0
+
+
+def test_zero_window_means_no_sticky_reads():
+    sim, manager, proxy, generator = build(window=0.0)
+    generator.start()
+    sim.run(until=PHASES.total)
+    assert proxy.sticky_reads == 0
+
+
+def test_sticky_reads_shift_load_to_master():
+    def master_queries(window):
+        sim, manager, proxy, generator = build(window=window)
+        generator.start()
+        sim.run(until=PHASES.total)
+        return manager.master.queries_served
+
+    assert master_queries(5.0) > master_queries(0.0)
+
+
+def test_state_clock_bound_at_start():
+    sim, manager, proxy, generator = build()
+    assert generator.state.now() == 0.0
+    sim.run(until=7.5)
+    generator.start()
+    assert generator.state.now() == 7.5
+
+
+def test_no_completions_before_first_think():
+    sim, manager, proxy, generator = build()
+    generator.start()
+    sim.run(until=0.01)
+    assert len(generator.completions) == 0

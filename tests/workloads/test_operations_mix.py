@@ -1,0 +1,132 @@
+"""Operation and mix tests."""
+
+import pytest
+
+from repro.cloud import Cloud, MASTER_PLACEMENT
+from repro.replication import ReplicationManager
+from repro.sim import RandomStreams, Simulator
+from repro.sql import parse
+from repro.workloads.cloudstone import (MIX_50_50, MIX_80_20,
+                                        OperationMix, READ_OPERATIONS,
+                                        WRITE_OPERATIONS, WorkloadState,
+                                        load_initial_data,
+                                        operation_by_name)
+
+ALL_OPERATIONS = [op for op, _w in READ_OPERATIONS + WRITE_OPERATIONS]
+
+
+@pytest.fixture
+def state():
+    return WorkloadState(n_users=100, n_events=100, n_tags=40)
+
+
+@pytest.fixture
+def rng():
+    return RandomStreams(11).stream("ops")
+
+
+@pytest.mark.parametrize("operation", ALL_OPERATIONS,
+                         ids=lambda op: op.name)
+def test_every_operation_builds_parseable_sql(operation, state, rng):
+    for _ in range(20):
+        statements = operation.build(state, rng)
+        assert statements
+        for sql in statements:
+            parsed = parse(sql)
+            if not operation.is_write:
+                assert not parsed.is_write, \
+                    f"read op {operation.name} contains a write"
+
+
+@pytest.mark.parametrize("operation", ALL_OPERATIONS,
+                         ids=lambda op: op.name)
+def test_every_operation_executes_against_loaded_data(operation, state, rng):
+    sim = Simulator()
+    cloud = Cloud(sim, RandomStreams(12))
+    manager = ReplicationManager(sim, cloud, ntp_period=None)
+    master = manager.create_master(MASTER_PLACEMENT)
+    loaded_state = load_initial_data(master, 50,
+                                     RandomStreams(1).stream("l"))
+    for _ in range(10):
+        for sql in operation.build(loaded_state, rng):
+            master.admin(sql)  # must not raise
+
+
+def test_write_operations_contain_a_write(state, rng):
+    for operation, _weight in WRITE_OPERATIONS:
+        statements = [parse(s) for s in operation.build(state, rng)]
+        assert any(s.is_write for s in statements)
+
+
+def test_create_event_grows_state(state):
+    operation = operation_by_name("create_event")
+    before = state.n_events
+    operation.on_complete(state)
+    assert state.n_events == before + 1
+
+
+def test_create_user_grows_state(state):
+    operation = operation_by_name("create_user")
+    before = state.n_users
+    operation.on_complete(state)
+    assert state.n_users == before + 1
+
+
+def test_unknown_operation_name():
+    with pytest.raises(KeyError):
+        operation_by_name("drop_all_tables")
+
+
+def test_write_ops_stamp_literal_timestamps(state, rng):
+    """Replicated writes must NOT call non-deterministic time functions
+    (each replica would commit a different value); the client stamps a
+    literal instead.  Only the heartbeat insert uses USEC_NOW()."""
+    for operation, _weight in WRITE_OPERATIONS:
+        for sql in operation.build(state, rng):
+            assert "USEC_NOW" not in sql
+    state.now_fn = lambda: 123.25
+    statements = operation_by_name("add_comment").build(state, rng)
+    assert any("123.25" in s for s in statements)
+
+
+# ------------------------------------------------------------------- mix
+def test_mix_read_fractions():
+    assert MIX_50_50.read_fraction == 0.5
+    assert MIX_80_20.read_fraction == 0.8
+    assert MIX_80_20.write_fraction == pytest.approx(0.2)
+
+
+def test_mix_pick_respects_ratio(rng):
+    picks = [MIX_80_20.pick(rng) for _ in range(4000)]
+    read_fraction = sum(1 for op in picks if not op.is_write) / len(picks)
+    assert 0.77 < read_fraction < 0.83
+
+
+def test_mix_pick_uses_weights(rng):
+    picks = [MIX_50_50.pick(rng) for _ in range(6000)]
+    counts = {}
+    for op in picks:
+        counts[op.name] = counts.get(op.name, 0) + 1
+    # view_event_detail (w=0.35 of reads) must be the most common read.
+    read_counts = {op.name: counts.get(op.name, 0)
+                   for op, _w in READ_OPERATIONS}
+    assert max(read_counts, key=read_counts.get) == "view_event_detail"
+
+
+def test_invalid_read_fraction_rejected():
+    with pytest.raises(ValueError):
+        OperationMix("bad", read_fraction=1.5)
+
+
+# ----------------------------------------------------------------- state
+def test_state_id_picks_in_range(state, rng):
+    for _ in range(200):
+        assert 1 <= state.random_user(rng) <= state.n_users
+        assert 1 <= state.random_event(rng) <= state.n_events
+        assert 1 <= state.random_tag(rng) <= state.n_tags
+
+
+def test_state_date_window(state, rng):
+    low, high = state.random_date_window(rng, fraction=0.2)
+    assert 0.0 <= low < high <= state.time_horizon
+    assert high - low == pytest.approx(state.time_horizon * 0.2)

@@ -1,0 +1,53 @@
+"""Latency-percentile reporting tests."""
+
+import pytest
+
+from repro.experiments import LocationConfig, PAPER_50_50, run_experiment
+from repro.workloads.cloudstone import Phases
+from tests.workloads.test_driver import PHASES, build_rig
+from repro.workloads.cloudstone import LoadGenerator, MIX_50_50
+
+
+def test_percentiles_are_ordered():
+    sim, streams, manager, proxy, pool, state = build_rig(seed=61)
+    generator = LoadGenerator(sim, proxy, pool, MIX_50_50, state, streams,
+                              n_users=10, think_time_mean=1.5,
+                              phases=PHASES)
+    generator.start()
+    sim.run(until=PHASES.total)
+    percentiles = generator.steady_latency_percentiles()
+    assert percentiles[50.0] > 0.0
+    assert percentiles[50.0] <= percentiles[95.0] <= percentiles[99.0]
+    assert abs(generator.steady_mean_latency()
+               - percentiles[50.0]) < percentiles[99.0]
+
+
+def test_percentiles_empty_window():
+    sim, streams, manager, proxy, pool, state = build_rig(seed=62)
+    generator = LoadGenerator(sim, proxy, pool, MIX_50_50, state, streams,
+                              n_users=2, phases=PHASES)
+    # Never started: no completions.
+    assert generator.steady_latency_percentiles() == \
+        {50.0: 0.0, 95.0: 0.0, 99.0: 0.0}
+
+
+def test_runner_exposes_percentiles():
+    config = PAPER_50_50(LocationConfig.SAME_ZONE, n_slaves=1, n_users=8,
+                         phases=Phases(10, 30, 5), seed=63,
+                         baseline_duration=10.0, data_size=40)
+    result = run_experiment(config)
+    assert set(result.latency_percentiles_s) == {50.0, 95.0, 99.0}
+    assert result.latency_percentiles_s[95.0] >= \
+        result.latency_percentiles_s[50.0]
+
+
+def test_custom_percentile_set():
+    sim, streams, manager, proxy, pool, state = build_rig(seed=64)
+    generator = LoadGenerator(sim, proxy, pool, MIX_50_50, state, streams,
+                              n_users=8, think_time_mean=1.0,
+                              phases=PHASES)
+    generator.start()
+    sim.run(until=PHASES.total)
+    percentiles = generator.steady_latency_percentiles((10.0, 90.0))
+    assert set(percentiles) == {10.0, 90.0}
+    assert percentiles[10.0] <= percentiles[90.0]

@@ -1,0 +1,94 @@
+"""Cloudstone schema and loader tests."""
+
+import pytest
+
+from repro.cloud import Cloud, MASTER_PLACEMENT
+from repro.replication import ReplicationManager
+from repro.sim import RandomStreams, Simulator
+from repro.sql import parse
+from repro.workloads.cloudstone import (SCHEMA_STATEMENTS, TAG_COUNT,
+                                        load_initial_data)
+
+
+@pytest.fixture
+def master():
+    sim = Simulator()
+    cloud = Cloud(sim, RandomStreams(9))
+    manager = ReplicationManager(sim, cloud, ntp_period=None)
+    return manager.create_master(MASTER_PLACEMENT)
+
+
+def test_schema_statements_all_parse():
+    for statement in SCHEMA_STATEMENTS:
+        parse(statement)
+
+
+def test_loader_row_counts(master):
+    state = load_initial_data(master, 50, RandomStreams(1).stream("l"))
+    counts = {
+        table: master.admin(f"SELECT COUNT(*) FROM {table}").result.scalar()
+        for table in ("users", "events", "tags")}
+    assert counts["users"] == 50
+    assert counts["events"] == 50
+    assert counts["tags"] == TAG_COUNT
+    assert state.n_users == 50
+    assert state.n_events == 50
+    assert state.n_tags == TAG_COUNT
+
+
+def test_loader_fanout_tables_populated(master):
+    load_initial_data(master, 50, RandomStreams(2).stream("l"))
+    event_tags = master.admin(
+        "SELECT COUNT(*) FROM event_tags").result.scalar()
+    attendees = master.admin(
+        "SELECT COUNT(*) FROM attendees").result.scalar()
+    comments = master.admin(
+        "SELECT COUNT(*) FROM comments").result.scalar()
+    assert 50 <= event_tags <= 150   # 1-3 tags per event
+    assert 0 < attendees <= 250      # 0-5 attendees per event
+    assert 0 <= comments <= 100      # 0-2 comments per event
+
+
+def test_loader_attendee_counts_consistent(master):
+    load_initial_data(master, 40, RandomStreams(3).stream("l"))
+    rows = master.admin(
+        "SELECT id, attendee_count FROM events").result.rows
+    for event_id, attendee_count in rows:
+        actual = master.admin(
+            f"SELECT COUNT(*) FROM attendees WHERE event_id = {event_id}"
+        ).result.scalar()
+        assert actual == attendee_count
+
+
+def test_loader_event_dates_within_horizon(master):
+    state = load_initial_data(master, 30, RandomStreams(4).stream("l"))
+    rows = master.admin("SELECT event_date FROM events").result.rows
+    assert all(0.0 <= date <= state.time_horizon for (date,) in rows)
+
+
+def test_loader_is_deterministic():
+    def build():
+        sim = Simulator()
+        cloud = Cloud(sim, RandomStreams(9))
+        manager = ReplicationManager(sim, cloud, ntp_period=None)
+        master = manager.create_master(MASTER_PLACEMENT)
+        load_initial_data(master, 30, RandomStreams(7).stream("l"))
+        return master.engine.checksum()
+
+    assert build() == build()
+
+
+def test_loader_rejects_bad_size(master):
+    with pytest.raises(ValueError):
+        load_initial_data(master, 0, RandomStreams(0).stream("l"))
+
+
+def test_loaded_data_snapshots_to_slaves(master):
+    sim = master.sim
+    cloud = Cloud(sim, RandomStreams(10))
+    # reuse the master's manager path: attach a slave after loading
+    manager = ReplicationManager(sim, cloud, ntp_period=None)
+    manager.master = master
+    load_initial_data(master, 25, RandomStreams(5).stream("l"))
+    slave = manager.add_slave(MASTER_PLACEMENT)
+    assert slave.admin("SELECT COUNT(*) FROM events").result.scalar() == 25
