@@ -7,8 +7,6 @@ ceiling is the master's write capacity, so a large master (2 cores x
 """
 
 from repro.cloud import LARGE, SMALL
-from repro.experiments import LocationConfig, PAPER_50_50, run_experiment
-from repro.experiments.runner import ExperimentResult
 from repro.workloads.cloudstone import Phases
 
 from conftest import publish, run_once

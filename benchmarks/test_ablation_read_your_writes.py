@@ -9,7 +9,7 @@ offloading (hastening the very saturation the paper identifies).
 """
 
 from repro.cloud import Cloud, MASTER_PLACEMENT
-from repro.replication import ConnectionPool, ReplicationManager
+from repro.replication import ReplicationManager
 from repro.sim import RandomStreams, Simulator
 from repro.sql import parse
 

@@ -7,7 +7,6 @@ master write with semi-sync receipt acknowledgement, as the closest
 slave moves further away.
 """
 
-import pytest
 
 from repro.cloud import Cloud, MASTER_PLACEMENT
 from repro.metrics import summarize

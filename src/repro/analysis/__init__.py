@@ -1,0 +1,41 @@
+"""simlint — static analysis for the reproduction's own invariants.
+
+The reproduction's results are only trustworthy if three properties
+hold everywhere in ``src/repro/``:
+
+* **Determinism** (DET rules): every stochastic draw flows through
+  :class:`repro.sim.rng.RandomStreams`; nothing reads wall-clock time
+  or iterates containers in memory-address order.
+* **Sim-safety** (SIM rules): simulation processes — generators that
+  yield kernel :class:`~repro.sim.kernel.Event` objects — never block
+  on real time or real I/O, never yield non-events, and never trigger
+  the same event twice.
+* **SQL validity** (SQL rules): every SQL string literal parses with
+  the in-repo :mod:`repro.sql` parser and references tables and
+  columns that actually exist in the Cloudstone schema.
+
+Nothing in the runtime enforces these invariants, so refactors could
+silently break reproducibility; ``python -m repro lint`` (and the
+``tests/analysis/test_lint_clean.py`` gate) make them checkable.
+"""
+
+from .config import DEFAULT_CONFIG, LintConfig, load_config
+from .findings import Finding
+from .runner import (format_findings_json, format_findings_text,
+                     lint_file, lint_paths, lint_source)
+from .visitor import LintContext, Rule, all_rules
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "DEFAULT_CONFIG",
+    "load_config",
+    "Rule",
+    "LintContext",
+    "all_rules",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "format_findings_text",
+    "format_findings_json",
+]

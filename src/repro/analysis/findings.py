@@ -1,0 +1,40 @@
+"""The unit of linter output: one finding at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation.
+
+    Orders by ``(path, line, column, rule_id)`` so reports are stable
+    regardless of the order rules ran in.
+    """
+
+    path: str        # file the finding is in (as given to the runner)
+    line: int        # 1-based source line
+    column: int      # 0-based source column
+    rule_id: str     # e.g. "DET001"
+    message: str     # what is wrong, with the offending expression
+    hint: str = ""   # how to fix it
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.column}: " \
+               f"{self.rule_id} {self.message}"
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule_id": self.rule_id,
+            "message": self.message,
+            "hint": self.hint,
+        }

@@ -1,0 +1,5 @@
+"""Rule implementations, grouped by family (DET / SIM / SQL)."""
+
+from . import determinism, simsafety, sqlcheck
+
+__all__ = ["determinism", "simsafety", "sqlcheck"]

@@ -1,0 +1,304 @@
+"""SQL rules: every SQL string literal must parse with ``repro.sql``
+and reference real tables/columns.
+
+Candidate strings are plain or f-string literals whose text starts
+with a SQL statement keyword (docstrings are skipped).  F-string
+placeholders are substituted before parsing: a placeholder naming a
+module-level string constant (``{HEARTBEAT_TABLE}``) gets that
+constant's text; anything else (runtime values like ``{event}``)
+becomes the literal ``0``, which is valid in every value position the
+workload builders use.
+
+Table/column names are checked against the Cloudstone schema
+(``workloads/cloudstone/schema.py``) plus any ``CREATE TABLE``
+statements appearing earlier in the same file (so e.g. the heartbeat
+module's own table is in scope for its inserts and selects).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from typing import Iterator, Optional
+
+from ..visitor import LintContext, Rule
+
+__all__ = ["SqlParseRule", "SqlTableRule", "SqlColumnRule",
+           "extract_sql_literals", "cloudstone_catalog", "RULES"]
+
+#: A string is "SQL-looking" when it has the *shape* of a statement,
+#: not merely a leading keyword — bare kind tags like ``"insert"`` and
+#: error messages like ``"COMMIT without open transaction"`` must not
+#: match.
+_SQL_PREFIX = re.compile(
+    r"^\s*(?:"
+    r"SELECT\s+.+?\s+FROM\s+\S+|"
+    r"INSERT\s+INTO\s+\S+|"
+    r"UPDATE\s+\S+\s+SET\s+|"
+    r"DELETE\s+FROM\s+\S+|"
+    r"CREATE\s+(?:TABLE|DATABASE|(?:UNIQUE\s+)?INDEX)\s+\S+|"
+    r"DROP\s+TABLE\s+\S+|"
+    r"USE\s+\w+\s*$|"
+    r"(?:BEGIN|COMMIT|ROLLBACK)\s*$"
+    r")", re.IGNORECASE | re.DOTALL)
+
+
+@dataclasses.dataclass(frozen=True)
+class SqlLiteral:
+    """One SQL-looking string literal found in a file."""
+
+    node: ast.AST       # the Constant or JoinedStr node
+    text: str           # with f-string placeholders substituted
+    substituted: bool   # True when a runtime placeholder became "0"
+
+
+def _docstring_nodes(tree: ast.Module) -> set[int]:
+    """ids of Constant nodes that are docstrings."""
+    nodes: set[int] = set()
+    for scope in ast.walk(tree):
+        if isinstance(scope, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                              ast.AsyncFunctionDef)):
+            body = scope.body
+            if body and isinstance(body[0], ast.Expr) and \
+                    isinstance(body[0].value, ast.Constant) and \
+                    isinstance(body[0].value.value, str):
+                nodes.add(id(body[0].value))
+    return nodes
+
+
+def extract_sql_literals(context: LintContext) -> Iterator[SqlLiteral]:
+    """SQL-looking string literals, in source order."""
+    docstrings = _docstring_nodes(context.tree)
+    candidates = []
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Constant) and \
+                isinstance(node.value, str) and id(node) not in docstrings:
+            candidates.append((node.lineno, node.col_offset, node,
+                               node.value, False))
+        elif isinstance(node, ast.JoinedStr):
+            text, substituted = _render_fstring(node, context)
+            candidates.append((node.lineno, node.col_offset, node, text,
+                               substituted))
+    candidates.sort(key=lambda item: (item[0], item[1]))
+    seen_fstring_parts: set[int] = set()
+    for _line, _col, node, text, substituted in candidates:
+        if isinstance(node, ast.JoinedStr):
+            # Constant pieces of an f-string also appear in ast.walk;
+            # remember them so they are not reported twice.
+            for piece in node.values:
+                seen_fstring_parts.add(id(piece))
+        elif id(node) in seen_fstring_parts:
+            continue
+        if _SQL_PREFIX.match(text):
+            yield SqlLiteral(node, text, substituted)
+
+
+def _render_fstring(node: ast.JoinedStr,
+                    context: LintContext) -> tuple[str, bool]:
+    parts: list[str] = []
+    substituted = False
+    for piece in node.values:
+        if isinstance(piece, ast.Constant):
+            parts.append(str(piece.value))
+        elif isinstance(piece, ast.FormattedValue):
+            value = piece.value
+            if isinstance(value, ast.Name) and \
+                    value.id in context.module_constants:
+                parts.append(context.module_constants[value.id])
+            elif isinstance(value, ast.Constant):
+                parts.append(str(value.value))
+            else:
+                parts.append("0")
+                substituted = True
+    return "".join(parts), substituted
+
+
+# ------------------------------------------------------------- catalogs
+_CATALOG_CACHE: Optional[dict[str, frozenset[str]]] = None
+
+
+def cloudstone_catalog() -> dict[str, frozenset[str]]:
+    """table name -> column names, parsed from the Cloudstone schema."""
+    global _CATALOG_CACHE
+    if _CATALOG_CACHE is None:
+        from ...workloads.cloudstone.schema import SCHEMA_STATEMENTS
+        catalog: dict[str, frozenset[str]] = {}
+        _extend_catalog(catalog, SCHEMA_STATEMENTS)
+        _CATALOG_CACHE = catalog
+    return dict(_CATALOG_CACHE)
+
+
+def _extend_catalog(catalog: dict, statements) -> None:
+    from ...sql import ast as sql_ast
+    from ...sql import parse
+    for text in statements:
+        try:
+            statement = parse(text)
+        except Exception:
+            continue
+        if isinstance(statement, sql_ast.CreateTableStatement):
+            catalog[statement.table] = frozenset(
+                column.name for column in statement.columns)
+
+
+def _column_refs(node) -> Iterator:
+    """Every ColumnRef reachable inside a repro.sql AST node."""
+    from ...sql import ast as sql_ast
+    if isinstance(node, sql_ast.ColumnRef):
+        yield node
+        return
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        values = [getattr(node, f.name)
+                  for f in dataclasses.fields(node)]
+    elif isinstance(node, (tuple, list)):
+        values = list(node)
+    else:
+        return
+    for value in values:
+        yield from _column_refs(value)
+
+
+class _SqlRule(Rule):
+    """Base: parse each SQL literal once, feed subclasses the result,
+    and grow a file-local catalog from CREATE TABLE statements."""
+
+    def check(self, context: LintContext) -> None:
+        if context.config.sql_excluded(context.path):
+            return
+        from ...sql import ast as sql_ast
+        catalog = cloudstone_catalog()
+        for literal in extract_sql_literals(context):
+            try:
+                from ...sql import parse
+                statement = parse(literal.text)
+            except Exception as error:
+                self.on_parse_error(context, literal, error)
+                continue
+            if isinstance(statement, sql_ast.CreateTableStatement):
+                catalog[statement.table] = frozenset(
+                    column.name for column in statement.columns)
+            self.on_statement(context, literal, statement, catalog)
+
+    def on_parse_error(self, context, literal, error) -> None:
+        pass
+
+    def on_statement(self, context, literal, statement, catalog) -> None:
+        pass
+
+
+class SqlParseRule(_SqlRule):
+    """SQL001: the literal must parse with the in-repo SQL dialect."""
+
+    rule_id = "SQL001"
+    description = "SQL literal does not parse"
+    hint = "repro.sql.parse() must accept every statement the " \
+           "simulated servers receive"
+
+    def on_parse_error(self, context, literal, error):
+        if literal.substituted:
+            # A runtime placeholder was replaced by "0"; if that lands
+            # in an identifier position the parse failure is ours, not
+            # the code's — stay silent rather than guess.
+            return
+        excerpt = " ".join(literal.text.split())
+        if len(excerpt) > 60:
+            excerpt = excerpt[:57] + "..."
+        self.report(context, literal.node,
+                    f"SQL does not parse ({error}): {excerpt!r}")
+
+
+def _statement_tables(statement) -> tuple[dict[str, str], list]:
+    """(alias -> table) map and the list of referenced table names."""
+    from ...sql import ast as sql_ast
+    aliases: dict[str, str] = {}
+    tables: list[str] = []
+
+    def add(table: Optional[str], alias: Optional[str]) -> None:
+        if table is None:
+            return
+        tables.append(table)
+        aliases[alias or table] = table
+
+    if isinstance(statement, sql_ast.SelectStatement):
+        add(statement.table, statement.alias)
+        for join in statement.joins:
+            add(join.table, join.alias)
+    elif isinstance(statement, (sql_ast.InsertStatement,
+                                sql_ast.UpdateStatement,
+                                sql_ast.DeleteStatement,
+                                sql_ast.CreateIndexStatement)):
+        add(statement.table, None)
+    return aliases, tables
+
+
+class SqlTableRule(_SqlRule):
+    """SQL002: referenced tables must exist in the schema."""
+
+    rule_id = "SQL002"
+    description = "SQL references an unknown table"
+    hint = "add the table to the schema or fix the name"
+
+    def on_statement(self, context, literal, statement, catalog):
+        _aliases, tables = _statement_tables(statement)
+        for table in tables:
+            if table not in catalog:
+                self.report(context, literal.node,
+                            f"unknown table {table!r} (known: "
+                            f"{', '.join(sorted(catalog))})")
+
+
+class SqlColumnRule(_SqlRule):
+    """SQL003: referenced columns must exist on their table."""
+
+    rule_id = "SQL003"
+    description = "SQL references an unknown column"
+    hint = "fix the column name or update the schema"
+
+    def on_statement(self, context, literal, statement, catalog):
+        from ...sql import ast as sql_ast
+        aliases, tables = _statement_tables(statement)
+        known_tables = [t for t in tables if t in catalog]
+        if not known_tables:
+            return  # SQL002 already covers unknown tables
+
+        def check_column(name: str, table: Optional[str],
+                         where: str) -> None:
+            if table is not None:
+                resolved = aliases.get(table, table)
+                if resolved not in catalog:
+                    return  # unknown alias/table: SQL002's problem
+                if name not in catalog[resolved]:
+                    self.report(
+                        context, literal.node,
+                        f"column {name!r} does not exist on table "
+                        f"{resolved!r} ({where})")
+            elif not any(name in catalog[t] for t in known_tables):
+                self.report(
+                    context, literal.node,
+                    f"column {name!r} does not exist on "
+                    f"{' or '.join(repr(t) for t in known_tables)} "
+                    f"({where})")
+
+        if isinstance(statement, sql_ast.InsertStatement):
+            for name in statement.columns:
+                check_column(name, statement.table, "INSERT columns")
+            return
+        if isinstance(statement, sql_ast.UpdateStatement):
+            for name, expr in statement.assignments:
+                check_column(name, statement.table, "SET clause")
+                for ref in _column_refs(expr):
+                    check_column(ref.name, ref.table or statement.table,
+                                 "SET expression")
+            for ref in _column_refs(statement.where):
+                check_column(ref.name, ref.table, "WHERE clause")
+            return
+        if isinstance(statement, sql_ast.CreateIndexStatement):
+            for name in statement.columns:
+                check_column(name, statement.table, "index columns")
+            return
+        for ref in _column_refs(statement):
+            check_column(ref.name, ref.table, "statement")
+
+
+RULES = (SqlParseRule, SqlTableRule, SqlColumnRule)

@@ -1,0 +1,89 @@
+"""Run the rules over files and format the findings."""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from typing import Iterable, Optional, Sequence
+
+from .config import DEFAULT_CONFIG, LintConfig
+from .findings import Finding
+from .visitor import LintContext, Rule, all_rules
+
+__all__ = ["lint_source", "lint_file", "lint_paths",
+           "format_findings_text", "format_findings_json"]
+
+
+def _enabled_rules(config: LintConfig,
+                   rules: Optional[Sequence[Rule]]) -> list[Rule]:
+    return [rule for rule in (rules if rules is not None else all_rules())
+            if config.rule_enabled(rule.rule_id)]
+
+
+def lint_source(source: str, path: str = "<string>",
+                config: LintConfig = DEFAULT_CONFIG,
+                rules: Optional[Sequence[Rule]] = None) -> list[Finding]:
+    """Lint one file's text; ``path`` is used in findings and for the
+    SQL-exclusion patterns."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Finding(path, error.lineno or 1, error.offset or 0,
+                        "PARSE", f"file does not parse: {error.msg}")]
+    context = LintContext(path, source, tree, config)
+    for rule in _enabled_rules(config, rules):
+        rule.check(context)
+    return sorted(context.findings)
+
+
+def lint_file(path: str, config: LintConfig = DEFAULT_CONFIG,
+              rules: Optional[Sequence[Rule]] = None) -> list[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return lint_source(handle.read(), path=path, config=config,
+                           rules=rules)
+
+
+def _python_files(path: str) -> Iterable[str]:
+    if os.path.isfile(path):
+        yield path
+        return
+    if not os.path.isdir(path):
+        # A missing path must not pass silently: in CI a renamed
+        # directory would otherwise turn the lint step into a no-op.
+        raise FileNotFoundError(f"lint path does not exist: {path}")
+    for dirpath, dirnames, filenames in os.walk(path):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def lint_paths(paths: Optional[Iterable[str]] = None,
+               config: LintConfig = DEFAULT_CONFIG,
+               rules: Optional[Sequence[Rule]] = None) -> list[Finding]:
+    """Lint every ``*.py`` file under ``paths`` (default: the config's
+    paths), findings sorted by location."""
+    findings: list[Finding] = []
+    resolved_rules = _enabled_rules(config, rules)
+    for path in (paths if paths is not None else config.paths):
+        for filename in _python_files(path):
+            findings.extend(lint_file(filename, config=config,
+                                      rules=resolved_rules))
+    return sorted(findings)
+
+
+def format_findings_text(findings: Sequence[Finding]) -> str:
+    if not findings:
+        return "simlint: no findings"
+    lines = [finding.render() for finding in findings]
+    lines.append(f"simlint: {len(findings)} finding"
+                 f"{'s' if len(findings) != 1 else ''}")
+    return "\n".join(lines)
+
+
+def format_findings_json(findings: Sequence[Finding]) -> str:
+    return json.dumps({
+        "count": len(findings),
+        "findings": [finding.as_dict() for finding in findings],
+    }, indent=2)

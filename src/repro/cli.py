@@ -34,7 +34,7 @@ def _location(value: str) -> LocationConfig:
     try:
         return LocationConfig(value)
     except ValueError:
-        choices = ", ".join(l.value for l in LocationConfig)
+        choices = ", ".join(loc.value for loc in LocationConfig)
         raise argparse.ArgumentTypeError(
             f"unknown location {value!r} (choose from {choices})")
 
@@ -111,6 +111,23 @@ def build_parser() -> argparse.ArgumentParser:
                       default="quick")
     cell.add_argument("--seed", type=int, default=0)
     cell.set_defaults(handler=_run_cell)
+
+    lint = sub.add_parser(
+        "lint", help="simlint: determinism / sim-safety / SQL checks")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories (default: the "
+                           "[tool.simlint] paths, i.e. src/repro)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text")
+    lint.add_argument("--select", action="append", default=None,
+                      metavar="RULES",
+                      help="only these rule ids/families "
+                           "(comma-separated, repeatable)")
+    lint.add_argument("--ignore", action="append", default=None,
+                      metavar="RULES",
+                      help="drop these rule ids/families "
+                           "(comma-separated, repeatable)")
+    lint.set_defaults(handler=_run_lint)
 
     return parser
 
@@ -203,7 +220,46 @@ def _run_cell(args) -> str:
     ])
 
 
+def _split_rule_lists(values: Optional[Sequence[str]]) -> list[str]:
+    rules: list[str] = []
+    for value in values or ():
+        rules.extend(rule.strip() for rule in value.split(",")
+                     if rule.strip())
+    return rules
+
+
+def _run_lint(args) -> tuple[str, int]:
+    from .analysis import (all_rules, format_findings_json,
+                           format_findings_text, lint_paths, load_config)
+    select = _split_rule_lists(args.select)
+    ignore = _split_rule_lists(args.ignore)
+    # A typo'd rule id would silently disable checks (exit 0), so an
+    # unknown --select/--ignore entry is a usage error, not a no-op.
+    known = sorted({rule.rule_id for rule in all_rules()} | {"PARSE"})
+    unknown = [pattern for pattern in select + ignore
+               if not any(rule_id.startswith(pattern)
+                          for rule_id in known)]
+    if unknown:
+        return ("simlint: error: unknown rule or family: "
+                f"{', '.join(unknown)} (known: {', '.join(known)})", 2)
+    config = load_config(".").narrowed(select=select, ignore=ignore)
+    try:
+        findings = lint_paths(args.paths or None, config=config)
+    except FileNotFoundError as error:
+        return f"simlint: error: {error}", 2
+    if args.format == "json":
+        text = format_findings_json(findings)
+    else:
+        text = format_findings_text(findings)
+    return text, (1 if findings else 0)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    print(args.handler(args))
-    return 0
+    result = args.handler(args)
+    if isinstance(result, tuple):
+        text, code = result
+    else:
+        text, code = result, 0
+    print(text)
+    return code

@@ -14,7 +14,6 @@ the business of :mod:`repro.replication.server`.
 from __future__ import annotations
 
 import copy
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
 
@@ -672,7 +671,9 @@ class StorageEngine:
                 return ([pk_value] if found else []), 1, True
             index = table.index_on(column)
             if index is not None and len(index.columns) == 1:
-                pks = list(index.lookup((value,)))
+                # lookup() returns a frozenset; sort so unordered
+                # SELECTs return rows in pk order, not hash order.
+                pks = sorted(index.lookup((value,)))
                 return pks, len(pks), True
         # Range probe on a single-column index.
         for conjunct in _conjuncts(where):

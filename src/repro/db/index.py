@@ -92,7 +92,9 @@ class Index:
         else:
             stop = bisect.bisect_left(self._sorted_keys, high)
         for position in range(start, stop):
-            yield from self._buckets[self._sorted_keys[position]]
+            # Buckets are sets; yield them sorted so the scan order is
+            # a pure function of the data, not of hash/insertion order.
+            yield from sorted(self._buckets[self._sorted_keys[position]])
 
     def keys_in_order(self) -> list[tuple]:
         return list(self._sorted_keys)

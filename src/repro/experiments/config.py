@@ -8,7 +8,7 @@ of the paper's Figs. 2, 3, 5 and 6.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..cloud.regions import DEFAULT_CATALOG, MASTER_PLACEMENT, Placement

@@ -29,7 +29,7 @@ from ..cloud.clock import LocalClock
 from ..cloud.instance import SMALL, draw_instance_hardware
 from ..cloud.network import Network, PAPER_LATENCY
 from ..cloud.ntp import NtpDaemon
-from ..cloud.regions import DEFAULT_CATALOG, MASTER_PLACEMENT
+from ..cloud.regions import MASTER_PLACEMENT
 from ..metrics import summarize
 from ..sim import RandomStreams, Simulator
 from ..workloads.cloudstone import Phases

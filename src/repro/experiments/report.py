@@ -9,7 +9,6 @@ against the committed reference numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..metrics import summarize
 from .sweeps import SweepResult, max_throughput, saturation_point

@@ -21,7 +21,6 @@ from typing import Optional
 from ..cloud.instance import CpuModel
 from ..cloud.provisioner import Cloud
 from ..cloud.regions import MASTER_PLACEMENT
-from ..metrics import trimmed_mean
 from ..replication.heartbeat import (HeartbeatPlugin,
                                      average_relative_delay_ms,
                                      collect_delays)

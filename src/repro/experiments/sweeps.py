@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..workloads.cloudstone import Phases
-from .config import ExperimentConfig, LocationConfig
+from .config import LocationConfig
 from .runner import ExperimentResult, run_experiment
 
 __all__ = ["SweepResult", "run_user_sweep", "run_grid",

@@ -69,6 +69,15 @@ class Event:
         self._triggered = False
         self._defused = False
 
+    def __repr__(self) -> str:
+        if not self._triggered:
+            state = "pending"
+        elif self._ok:
+            state = "succeeded"
+        else:
+            state = f"failed({self._value!r})"
+        return f"<{type(self).__name__} {state}>"
+
     # -- state inspection -------------------------------------------------
     @property
     def triggered(self) -> bool:
@@ -98,7 +107,9 @@ class Event:
     def succeed(self, value: Any = None) -> "Event":
         """Fire the event successfully, delivering ``value`` to waiters."""
         if self._triggered:
-            raise SimulationError("event already triggered")
+            raise SimulationError(
+                f"succeed() on {self!r}: an event fires exactly once — "
+                f"create a fresh event or guard on event.triggered")
         self._triggered = True
         self._ok = True
         self._value = value
@@ -108,7 +119,9 @@ class Event:
     def fail(self, exception: BaseException) -> "Event":
         """Fire the event with an exception, re-raised in waiters."""
         if self._triggered:
-            raise SimulationError("event already triggered")
+            raise SimulationError(
+                f"fail() on {self!r}: an event fires exactly once — "
+                f"create a fresh event or guard on event.triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
         self._triggered = True
@@ -221,6 +234,15 @@ class Process(Event):
         init = Event(sim)
         init.callbacks.append(self._resume)
         init.succeed()
+
+    def __repr__(self) -> str:
+        if not self._triggered:
+            state = "alive"
+        elif self._ok:
+            state = "finished"
+        else:
+            state = f"failed({self._value!r})"
+        return f"<Process {self.name!r} {state}>"
 
     @property
     def is_alive(self) -> bool:

@@ -7,8 +7,8 @@ proxy keys its routing on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Union
+from dataclasses import dataclass
+from typing import Optional
 
 __all__ = [
     "Expression", "Literal", "ColumnRef", "ParamRef", "BinaryOp", "UnaryOp",

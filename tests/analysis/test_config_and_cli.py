@@ -1,0 +1,143 @@
+"""Config loading (pyproject + fallback parser), rule selection, and
+the ``python -m repro lint`` command."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import (DEFAULT_CONFIG, LintConfig, lint_paths,
+                            load_config)
+from repro.analysis.config import config_from_table, parse_simlint_table
+from repro.cli import main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+# ----------------------------------------------------------- selection
+def test_select_restricts_to_family():
+    config = LintConfig(select=("DET",))
+    assert config.rule_enabled("DET001")
+    assert not config.rule_enabled("SQL001")
+
+
+def test_ignore_drops_specific_rule():
+    config = LintConfig(ignore=("SIM003",))
+    assert config.rule_enabled("SIM001")
+    assert not config.rule_enabled("SIM003")
+
+
+def test_narrowed_applies_cli_overrides():
+    config = DEFAULT_CONFIG.narrowed(select=["SQL"], ignore=["SQL003"])
+    assert config.rule_enabled("SQL001")
+    assert not config.rule_enabled("SQL003")
+    assert not config.rule_enabled("DET001")
+
+
+# ------------------------------------------------------------- loading
+def test_load_config_reads_repo_pyproject():
+    config = load_config(REPO_ROOT)
+    assert config.paths == ("src/repro",)
+    assert "src/repro/sql" in config.sql_exclude
+
+
+def test_load_config_defaults_without_pyproject(tmp_path):
+    assert load_config(str(tmp_path)) == DEFAULT_CONFIG
+
+
+def test_load_config_from_custom_pyproject(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.simlint]\n"
+        'paths = ["lib"]\n'
+        'select = ["DET", "SIM"]\n'
+        'ignore = ["DET005"]\n')
+    config = load_config(str(tmp_path))
+    assert config.paths == ("lib",)
+    assert config.rule_enabled("SIM001")
+    assert not config.rule_enabled("DET005")
+    assert not config.rule_enabled("SQL001")
+
+
+def test_fallback_parser_matches_tomllib_for_our_table():
+    text = (
+        "[tool.other]\n"
+        'noise = "yes"\n'
+        "[tool.simlint]\n"
+        'paths = ["src/repro", "tools"]\n'
+        "select = []\n"
+        'ignore = ["SQL003"]\n'
+        "[tool.after]\n"
+        'more = "noise"\n')
+    table = parse_simlint_table(text)
+    assert table == {"paths": ["src/repro", "tools"], "select": [],
+                     "ignore": ["SQL003"]}
+    config = config_from_table(table)
+    assert config.paths == ("src/repro", "tools")
+    assert config.ignore == ("SQL003",)
+
+
+def test_config_rejects_non_string_lists():
+    with pytest.raises(ValueError):
+        config_from_table({"paths": [1, 2]})
+
+
+# ----------------------------------------------------------------- CLI
+def bad_module(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text(
+        "import time\n"
+        "def probe(sim):\n"
+        "    yield sim.timeout(1.0)\n"
+        "    time.sleep(0.5)\n")
+    return str(path)
+
+
+def test_cli_lint_clean_path_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("VALUE = 1\n")
+    assert main(["lint", str(clean)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_cli_lint_violation_exits_nonzero(tmp_path, capsys):
+    assert main(["lint", bad_module(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "SIM001" in out
+    assert "bad.py:4:" in out
+
+
+def test_cli_lint_json_format(tmp_path, capsys):
+    assert main(["lint", "--format", "json", bad_module(tmp_path)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule_id"] == "SIM001"
+    assert payload["findings"][0]["line"] == 4
+
+
+def test_cli_lint_select_and_ignore(tmp_path, capsys):
+    path = bad_module(tmp_path)
+    assert main(["lint", "--select", "DET", path]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--ignore", "SIM001", path]) == 0
+
+
+def test_lint_paths_accepts_single_file(tmp_path):
+    findings = lint_paths([bad_module(tmp_path)],
+                          config=LintConfig(sql_exclude=()))
+    assert [finding.rule_id for finding in findings] == ["SIM001"]
+
+
+def test_cli_lint_unknown_rule_is_a_usage_error(tmp_path, capsys):
+    # A typo'd --select must not silently disable every rule.
+    assert main(["lint", "--select", "BOGUS", bad_module(tmp_path)]) == 2
+    out = capsys.readouterr().out
+    assert "unknown rule or family: BOGUS" in out
+    capsys.readouterr()
+    assert main(["lint", "--ignore", "SIM01", bad_module(tmp_path)]) == 2
+
+
+def test_cli_lint_missing_path_is_an_error(tmp_path, capsys):
+    missing = str(tmp_path / "no_such_dir")
+    assert main(["lint", missing]) == 2
+    assert "does not exist" in capsys.readouterr().out

@@ -1,0 +1,166 @@
+"""Each DET rule: one positive, one suppressed, one negative."""
+
+from repro.analysis import lint_source
+
+
+def rule_ids(source):
+    return [finding.rule_id for finding in lint_source(source)]
+
+
+# ------------------------------------------------------------- DET001
+def test_det001_fires_on_time_time():
+    assert "DET001" in rule_ids(
+        "import time\n"
+        "def f():\n"
+        "    return time.time()\n")
+
+
+def test_det001_fires_through_import_alias():
+    assert "DET001" in rule_ids(
+        "from time import time as wall\n"
+        "def f():\n"
+        "    return wall()\n")
+
+
+def test_det001_fires_on_datetime_now():
+    assert "DET001" in rule_ids(
+        "import datetime\n"
+        "stamp = datetime.datetime.now()\n")
+
+
+def test_det001_suppressed():
+    assert rule_ids(
+        "import time\n"
+        "def f():\n"
+        "    return time.time()  # simlint: disable=DET001\n") == []
+
+
+def test_det001_ignores_simulated_now():
+    # `sim.now` / `state.now()` are the *simulated* clock.
+    assert rule_ids(
+        "def f(sim, state):\n"
+        "    return sim.now + state.now()\n") == []
+
+
+# ------------------------------------------------------------- DET002
+def test_det002_fires_on_import_random():
+    assert "DET002" in rule_ids("import random\n")
+
+
+def test_det002_fires_on_from_random_import():
+    assert "DET002" in rule_ids("from random import choice\n")
+
+
+def test_det002_suppressed():
+    assert rule_ids("import random  # simlint: disable=DET002\n") == []
+
+
+def test_det002_ignores_numpy_random():
+    assert rule_ids("import numpy.random\n") == []
+
+
+# ------------------------------------------------------------- DET003
+def test_det003_fires_on_urandom():
+    assert "DET003" in rule_ids("import os\nkey = os.urandom(8)\n")
+
+
+def test_det003_fires_on_uuid4():
+    assert "DET003" in rule_ids("import uuid\ntoken = uuid.uuid4()\n")
+
+
+def test_det003_suppressed():
+    assert rule_ids(
+        "import os\n"
+        "key = os.urandom(8)  # simlint: disable=DET003\n") == []
+
+
+def test_det003_ignores_deterministic_uuid():
+    assert rule_ids(
+        "import uuid\n"
+        "token = uuid.uuid5(uuid.NAMESPACE_DNS, 'x')\n") == []
+
+
+# ------------------------------------------------------------- DET004
+def test_det004_fires_on_global_numpy_rng():
+    assert "DET004" in rule_ids(
+        "import numpy as np\nx = np.random.rand(3)\n")
+
+
+def test_det004_fires_on_unseeded_default_rng():
+    assert "DET004" in rule_ids(
+        "import numpy as np\ngen = np.random.default_rng()\n")
+
+
+def test_det004_suppressed():
+    assert rule_ids(
+        "import numpy as np\n"
+        "gen = np.random.default_rng()  # simlint: disable=DET004\n"
+    ) == []
+
+
+def test_det004_allows_seeded_generators():
+    assert rule_ids(
+        "import numpy as np\n"
+        "gen = np.random.default_rng(42)\n"
+        "seq = np.random.SeedSequence(entropy=7, spawn_key=(1,))\n"
+        "g2 = np.random.Generator(np.random.PCG64(seq))\n") == []
+
+
+# ------------------------------------------------------------- DET005
+def test_det005_fires_on_for_over_set():
+    assert "DET005" in rule_ids(
+        "for item in {3, 1, 2}:\n    print(item)\n")
+
+
+def test_det005_fires_on_comprehension_over_set_call():
+    assert "DET005" in rule_ids(
+        "names = [n for n in set(values)]\n")
+
+
+def test_det005_fires_on_list_of_set():
+    assert "DET005" in rule_ids("order = list(set(values))\n")
+
+
+def test_det005_suppressed():
+    assert rule_ids(
+        "for item in {3, 1, 2}:  # simlint: disable=DET005\n"
+        "    print(item)\n") == []
+
+
+def test_det005_allows_sorted_set():
+    assert rule_ids(
+        "for item in sorted({3, 1, 2}):\n    print(item)\n") == []
+
+
+# ------------------------------------------------------------- DET006
+def test_det006_fires_on_key_id():
+    assert "DET006" in rule_ids("events.sort(key=id)\n")
+
+
+def test_det006_fires_on_lambda_id():
+    assert "DET006" in rule_ids(
+        "ordered = sorted(events, key=lambda e: id(e))\n")
+
+
+def test_det006_suppressed():
+    assert rule_ids("events.sort(key=id)  # simlint: disable=DET006\n") \
+        == []
+
+
+def test_det006_allows_field_keys():
+    assert rule_ids(
+        "ordered = sorted(events, key=lambda e: e.seq)\n") == []
+
+
+# --------------------------------------------------- suppression forms
+def test_bare_disable_suppresses_every_rule():
+    assert rule_ids("import random  # simlint: disable\n") == []
+
+
+def test_family_prefix_suppresses_members():
+    assert rule_ids("import random  # simlint: disable=DET\n") == []
+
+
+def test_unrelated_disable_does_not_suppress():
+    assert "DET002" in rule_ids(
+        "import random  # simlint: disable=SQL001\n")

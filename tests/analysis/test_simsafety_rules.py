@@ -1,0 +1,157 @@
+"""Each SIM rule: one positive, one suppressed, one negative."""
+
+import ast
+
+from repro.analysis import lint_source
+from repro.analysis.rules.simsafety import is_sim_process
+
+SIM_PROCESS_PREFIX = (
+    "def proc(sim):\n"
+    "    yield sim.timeout(1.0)\n")
+
+
+def rule_ids(source):
+    return [finding.rule_id for finding in lint_source(source)]
+
+
+# --------------------------------------------------- process detection
+def test_generator_yielding_timeout_is_sim_process():
+    tree = ast.parse(SIM_PROCESS_PREFIX)
+    assert is_sim_process(tree.body[0])
+
+
+def test_generator_yielding_stored_event_is_sim_process():
+    tree = ast.parse(
+        "def proc(sim):\n"
+        "    done = sim.event()\n"
+        "    yield done\n")
+    assert is_sim_process(tree.body[0])
+
+
+def test_plain_generator_is_not_sim_process():
+    # e.g. the SQL lexer yields tokens, not events.
+    tree = ast.parse(
+        "def tokens(text):\n"
+        "    for ch in text:\n"
+        "        yield ch\n")
+    assert not is_sim_process(tree.body[0])
+
+
+def test_nested_helper_yields_do_not_taint_outer():
+    tree = ast.parse(
+        "def outer(sim):\n"
+        "    def inner():\n"
+        "        yield sim.timeout(1.0)\n"
+        "    return inner\n")
+    assert not is_sim_process(tree.body[0])
+
+
+# ------------------------------------------------------------- SIM001
+def test_sim001_fires_on_time_sleep():
+    assert "SIM001" in rule_ids(
+        "import time\n" + SIM_PROCESS_PREFIX +
+        "    time.sleep(0.5)\n")
+
+
+def test_sim001_suppressed():
+    assert rule_ids(
+        "import time\n" + SIM_PROCESS_PREFIX +
+        "    time.sleep(0.5)  # simlint: disable=SIM001\n") == []
+
+
+def test_sim001_ignores_sleep_outside_sim_process():
+    assert rule_ids(
+        "import time\n"
+        "def blocking_helper():\n"
+        "    time.sleep(0.5)\n") == []
+
+
+# ------------------------------------------------------------- SIM002
+def test_sim002_fires_on_open():
+    assert "SIM002" in rule_ids(
+        SIM_PROCESS_PREFIX + "    handle = open('/tmp/x')\n")
+
+
+def test_sim002_fires_on_subprocess():
+    assert "SIM002" in rule_ids(
+        "import subprocess\n" + SIM_PROCESS_PREFIX +
+        "    subprocess.run(['ls'])\n")
+
+
+def test_sim002_suppressed():
+    assert rule_ids(
+        SIM_PROCESS_PREFIX +
+        "    handle = open('/tmp/x')  # simlint: disable=SIM002\n") == []
+
+
+def test_sim002_ignores_io_outside_sim_process():
+    assert rule_ids(
+        "def write_report(path, text):\n"
+        "    with open(path, 'w') as handle:\n"
+        "        handle.write(text)\n") == []
+
+
+# ------------------------------------------------------------- SIM003
+def test_sim003_fires_on_literal_yield():
+    assert "SIM003" in rule_ids(SIM_PROCESS_PREFIX + "    yield 5\n")
+
+
+def test_sim003_fires_on_bare_yield():
+    assert "SIM003" in rule_ids(SIM_PROCESS_PREFIX + "    yield\n")
+
+
+def test_sim003_suppressed():
+    assert rule_ids(
+        SIM_PROCESS_PREFIX +
+        "    yield 5  # simlint: disable=SIM003\n") == []
+
+
+def test_sim003_ignores_opaque_yields():
+    # A yielded name/call could be an Event; no proof, no finding.
+    assert rule_ids(
+        SIM_PROCESS_PREFIX + "    yield make_event()\n") == []
+
+
+# ------------------------------------------------------------- SIM004
+def test_sim004_fires_on_straight_line_double_succeed():
+    assert "SIM004" in rule_ids(
+        "def f(sim):\n"
+        "    ev = sim.event()\n"
+        "    ev.succeed(1)\n"
+        "    ev.succeed(2)\n")
+
+
+def test_sim004_fires_on_succeed_then_fail():
+    assert "SIM004" in rule_ids(
+        "def f(sim):\n"
+        "    ev = sim.event()\n"
+        "    ev.succeed(1)\n"
+        "    ev.fail(RuntimeError('x'))\n")
+
+
+def test_sim004_suppressed():
+    assert rule_ids(
+        "def f(sim):\n"
+        "    ev = sim.event()\n"
+        "    ev.succeed(1)\n"
+        "    ev.succeed(2)  # simlint: disable=SIM004\n") == []
+
+
+def test_sim004_allows_rebound_event():
+    assert rule_ids(
+        "def f(sim):\n"
+        "    ev = sim.event()\n"
+        "    ev.succeed(1)\n"
+        "    ev = sim.event()\n"
+        "    ev.succeed(2)\n") == []
+
+
+def test_sim004_allows_branched_triggers():
+    # One branch succeeds, the other fails: both paths trigger once.
+    assert rule_ids(
+        "def f(sim, ok):\n"
+        "    ev = sim.event()\n"
+        "    if ok:\n"
+        "        ev.succeed(1)\n"
+        "    else:\n"
+        "        ev.fail(RuntimeError('x'))\n") == []

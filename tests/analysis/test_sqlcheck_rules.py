@@ -1,0 +1,138 @@
+"""Each SQL rule: positives, suppressions, negatives, and the
+f-string placeholder substitution machinery."""
+
+from repro.analysis import LintConfig, lint_source
+
+#: Config with no sql-exclusions, so the synthetic paths used here are
+#: always checked.
+OPEN = LintConfig(sql_exclude=())
+
+
+def rule_ids(source):
+    return [finding.rule_id
+            for finding in lint_source(source, config=OPEN)]
+
+
+# ------------------------------------------------------------- SQL001
+def test_sql001_fires_on_unparseable_sql():
+    assert "SQL001" in rule_ids(
+        'STMT = "SELECT frm FROM WHERE ORDER"\n')
+
+
+def test_sql001_suppressed():
+    assert rule_ids(
+        'STMT = "SELECT frm FROM WHERE ORDER"'
+        '  # simlint: disable=SQL001\n') == []
+
+
+def test_sql001_ignores_non_sql_strings():
+    assert rule_ids(
+        'KIND = "insert"\n'
+        'MESSAGE = "COMMIT without open transaction"\n'
+        'HELP = "use the --scale flag"\n') == []
+
+
+def test_sql001_skips_docstrings():
+    assert rule_ids(
+        'def f():\n'
+        '    """SELECT broken FROM is only documentation prose."""\n'
+        '    return None\n') == []
+
+
+def test_sql001_lenient_on_unresolvable_placeholder():
+    # {name} lands in identifier position; substitution cannot prove
+    # the statement wrong, so no finding.
+    assert rule_ids(
+        'def create(name):\n'
+        '    return f"CREATE DATABASE IF NOT EXISTS {name}"\n') == []
+
+
+# ------------------------------------------------------------- SQL002
+def test_sql002_fires_on_unknown_table():
+    assert "SQL002" in rule_ids(
+        'STMT = "SELECT id FROM no_such_table WHERE id = 1"\n')
+
+
+def test_sql002_suppressed():
+    assert rule_ids(
+        'STMT = "SELECT id FROM no_such_table WHERE id = 1"'
+        '  # simlint: disable=SQL002\n') == []
+
+
+def test_sql002_knows_the_cloudstone_schema():
+    assert rule_ids(
+        'STMTS = [\n'
+        '    "SELECT id, title FROM events WHERE owner = 3",\n'
+        '    "INSERT INTO attendees (event_id, user_id) VALUES (1, 2)",\n'
+        '    "UPDATE users SET events_created = 4 WHERE id = 1",\n'
+        ']\n') == []
+
+
+def test_sql002_learns_tables_created_in_the_same_file():
+    # Mirrors replication/heartbeat.py: CREATE TABLE earlier in the
+    # file puts the table in scope for later statements.
+    assert rule_ids(
+        'DDL = "CREATE TABLE beats (id INTEGER PRIMARY KEY, ts DOUBLE)"\n'
+        'READ = "SELECT id, ts FROM beats"\n') == []
+
+
+# ------------------------------------------------------------- SQL003
+def test_sql003_fires_on_unknown_select_column():
+    assert "SQL003" in rule_ids(
+        'STMT = "SELECT no_such_column FROM events"\n')
+
+
+def test_sql003_fires_on_unknown_insert_column():
+    assert "SQL003" in rule_ids(
+        'STMT = "INSERT INTO users (bogus) VALUES (1)"\n')
+
+
+def test_sql003_fires_on_aliased_join_column():
+    assert "SQL003" in rule_ids(
+        'STMT = ("SELECT u.bogus FROM attendees a "\n'
+        '        "JOIN users u ON u.id = a.user_id "\n'
+        '        "WHERE a.event_id = 1")\n')
+
+
+def test_sql003_suppressed():
+    assert rule_ids(
+        'STMT = "SELECT no_such_column FROM events"'
+        '  # simlint: disable=SQL003\n') == []
+
+
+def test_sql003_accepts_valid_join_columns():
+    assert rule_ids(
+        'STMT = ("SELECT u.username FROM attendees a "\n'
+        '        "JOIN users u ON u.id = a.user_id "\n'
+        '        "WHERE a.event_id = 1")\n') == []
+
+
+# ------------------------------------------- placeholder substitution
+def test_fstring_value_placeholders_are_substituted():
+    assert rule_ids(
+        'def build(event):\n'
+        '    return f"SELECT id FROM events WHERE id = {event}"\n') == []
+
+
+def test_fstring_module_constant_resolves_table_name():
+    assert rule_ids(
+        'TABLE = "events"\n'
+        'def build(event):\n'
+        '    return f"SELECT id FROM {TABLE} WHERE id = {event}"\n'
+    ) == []
+
+
+def test_fstring_constant_resolution_still_checks_schema():
+    assert "SQL002" in rule_ids(
+        'TABLE = "not_a_table"\n'
+        'def build(event):\n'
+        '    return f"SELECT id FROM {TABLE} WHERE id = {event}"\n')
+
+
+# ----------------------------------------------------------- excludes
+def test_sql_exclude_paths_skip_sql_rules():
+    config = LintConfig(sql_exclude=("generated/",))
+    findings = lint_source(
+        'STMT = "SELECT id FROM no_such_table"\n',
+        path="generated/module.py", config=config)
+    assert findings == []

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cloud import (Cloud, DEFAULT_CATALOG, LARGE, MASTER_PLACEMENT,
+from repro.cloud import (Cloud, LARGE, MASTER_PLACEMENT,
                          SMALL)
 from repro.cloud.instance import draw_instance_hardware
 from repro.sim import RandomStreams, Simulator

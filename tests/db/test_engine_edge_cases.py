@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.db import DatabaseError, StorageEngine, standard_functions
+from repro.db import StorageEngine, standard_functions
 
 
 @pytest.fixture

@@ -7,11 +7,10 @@ tests drive random DML streams through a master engine and replay the
 binlogged texts into a fresh replica.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.db import DatabaseError, StorageEngine, standard_functions
+from repro.db import StorageEngine, standard_functions
 
 
 def fresh_engine(clock=lambda: 0.0):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.db import (Column, ConstraintError, SchemaError, TableSchema,
+from repro.db import (ConstraintError, SchemaError,
                       resolve_type, schema_from_ast)
 from repro.sql.ast import ColumnDef, Literal
 

@@ -1,6 +1,5 @@
 """Markdown report generator tests."""
 
-import pytest
 
 from repro.experiments import (LocationConfig, PAPER_50_50,
                                run_fig4_clock_sync,

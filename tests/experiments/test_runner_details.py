@@ -4,7 +4,7 @@ import pytest
 
 from repro.experiments import LocationConfig, PAPER_50_50, run_experiment
 from repro.experiments.runner import ExperimentResult
-from repro.workloads.cloudstone import MIX_50_50, Phases
+from repro.workloads.cloudstone import Phases
 
 TINY = Phases(10.0, 30.0, 5.0)
 

@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.cloud import Cloud, LARGE, MASTER_PLACEMENT, SMALL
+from repro.cloud import LARGE, MASTER_PLACEMENT, SMALL
 from repro.replication import ReplicationManager
-from repro.sim import RandomStreams, Simulator
 from tests.replication.conftest import EU_WEST, run_process
 
 

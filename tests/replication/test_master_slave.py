@@ -4,7 +4,7 @@ import pytest
 
 from repro.cloud import MASTER_PLACEMENT
 from repro.replication import OrderedChannel
-from tests.replication.conftest import EU_WEST, US_EAST_B, run_process
+from tests.replication.conftest import EU_WEST, US_EAST_B
 
 
 def drive_writes(sim, master, count, spacing=0.1):

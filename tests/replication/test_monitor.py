@@ -4,7 +4,7 @@ import pytest
 
 from repro.cloud import MASTER_PLACEMENT
 from repro.replication import (ClusterMonitor, ClusterSample,
-                               PressureSignals, SlaveSample,
+                               SlaveSample,
                                detect_pressure)
 
 

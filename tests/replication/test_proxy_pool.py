@@ -6,7 +6,7 @@ from repro.cloud import MASTER_PLACEMENT
 from repro.replication import ConnectionPool
 from repro.sim import RandomStreams
 from repro.sql import parse
-from tests.replication.conftest import EU_WEST, US_EAST_B, run_process
+from tests.replication.conftest import EU_WEST, run_process
 
 
 @pytest.fixture

@@ -200,3 +200,77 @@ def test_process_name_defaults():
     assert named.name == "custom"
     assert default.name == "some_proc"
     sim.run()
+
+
+# ------------------------------------------------- double triggering
+def test_double_succeed_raises_with_clear_message():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed("first")
+    with pytest.raises(SimulationError) as excinfo:
+        event.succeed("second")
+    message = str(excinfo.value)
+    assert "succeed()" in message
+    assert "exactly once" in message
+    assert "succeeded" in message  # the event's state is named
+
+
+def test_fail_after_succeed_raises_with_clear_message():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError, match="fail\\(\\) on"):
+        event.fail(RuntimeError("boom"))
+
+
+def test_succeed_after_fail_raises_and_names_failure():
+    sim = Simulator()
+    event = sim.event()
+    event.fail(RuntimeError("boom")).defuse()
+    with pytest.raises(SimulationError) as excinfo:
+        event.succeed(2)
+    assert "failed" in str(excinfo.value)
+
+
+def test_double_fail_raises():
+    sim = Simulator()
+    event = sim.event()
+    event.fail(ValueError("first")).defuse()
+    with pytest.raises(SimulationError):
+        event.fail(ValueError("second"))
+    sim.run()  # the defused failure never re-raises
+
+
+def test_double_trigger_leaves_event_state_intact():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed("kept")
+    with pytest.raises(SimulationError):
+        event.succeed("lost")
+    sim.run()
+    assert event.ok
+    assert event.value == "kept"
+
+
+def test_triggering_fired_timeout_raises():
+    sim = Simulator()
+    timeout = sim.timeout(1.0)
+    sim.run()
+    with pytest.raises(SimulationError):
+        timeout.succeed("late")
+
+
+def test_event_and_process_reprs_describe_state():
+    sim = Simulator()
+    event = sim.event()
+    assert repr(event) == "<Event pending>"
+    event.succeed()
+    assert repr(event) == "<Event succeeded>"
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+
+    process = sim.process(worker(sim), name="worker")
+    assert repr(process) == "<Process 'worker' alive>"
+    sim.run()
+    assert repr(process) == "<Process 'worker' finished>"

@@ -1,12 +1,11 @@
 """Property-based tests over the SQL front end."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sql import (EvalContext, evaluate, parse, render_expression,
                        render_statement)
-from repro.sql.ast import (BinaryOp, ColumnRef, Literal, SelectStatement,
+from repro.sql.ast import (BinaryOp, ColumnRef, Literal,
                            UnaryOp)
 
 # -------------------------------------------------- expression strategies

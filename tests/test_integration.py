@@ -5,7 +5,6 @@ proxy, pool, workload, measurement — and checks an end-to-end
 behaviour the unit suites cannot see.
 """
 
-import pytest
 
 from repro.cloud import Cloud, MASTER_PLACEMENT
 from repro.db import DatabaseError

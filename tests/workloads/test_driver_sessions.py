@@ -1,6 +1,5 @@
 """Driver behaviour around sessions, stickiness and phases."""
 
-import pytest
 
 from repro.cloud import Cloud, MASTER_PLACEMENT
 from repro.replication import ConnectionPool, ReplicationManager

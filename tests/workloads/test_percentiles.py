@@ -1,6 +1,5 @@
 """Latency-percentile reporting tests."""
 
-import pytest
 
 from repro.experiments import LocationConfig, PAPER_50_50, run_experiment
 from repro.workloads.cloudstone import Phases
