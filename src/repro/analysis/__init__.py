@@ -13,6 +13,10 @@ hold everywhere in ``src/repro/``:
 * **SQL validity** (SQL rules): every SQL string literal parses with
   the in-repo :mod:`repro.sql` parser and references tables and
   columns that actually exist in the Cloudstone schema.
+* **Lifecycle pairing** (FLW rules): flow-sensitive proofs over a
+  per-function CFG (:mod:`repro.analysis.flow`) that pool
+  connections, resource claims and transactions are released /
+  committed on *every* path, exception edges included.
 
 Nothing in the runtime enforces these invariants, so refactors could
 silently break reproducibility; ``python -m repro lint`` (and the
@@ -21,8 +25,10 @@ silently break reproducibility; ``python -m repro lint`` (and the
 
 from .config import DEFAULT_CONFIG, LintConfig, load_config
 from .findings import Finding
-from .runner import (format_findings_json, format_findings_text,
-                     lint_file, lint_paths, lint_source)
+from .runner import (LintStats, format_findings_json,
+                     format_findings_text, lint_file, lint_paths,
+                     lint_source)
+from .sarif import format_findings_sarif
 from .visitor import LintContext, Rule, all_rules
 
 __all__ = [
@@ -32,10 +38,12 @@ __all__ = [
     "load_config",
     "Rule",
     "LintContext",
+    "LintStats",
     "all_rules",
     "lint_source",
     "lint_file",
     "lint_paths",
     "format_findings_text",
     "format_findings_json",
+    "format_findings_sarif",
 ]

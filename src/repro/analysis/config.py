@@ -7,10 +7,15 @@ Recognized keys (all optional)::
     select = ["DET", "SIM"]        # only these rules / families
     ignore = ["SQL003"]            # drop these rules / families
     sql-exclude = ["src/repro/sql"]  # paths exempt from SQL rules
+    per-path-ignore = ["tests:SIM003", "benchmarks:DET"]
 
 ``select``/``ignore`` entries may be full rule ids (``DET001``) or
-family prefixes (``DET``).  Python 3.10 has no :mod:`tomllib`, so a
-minimal fallback parser handles the small TOML subset above.
+family prefixes (``DET``).  ``per-path-ignore`` entries are
+``"<path-prefix>:<rule-or-family>"`` — the rule is dropped for every
+file at or under that prefix, so directories of test fixtures that
+intentionally violate a rule stay suppressible without inline
+comments.  Python 3.10 has no :mod:`tomllib`, so a minimal fallback
+parser handles the small TOML subset above.
 """
 
 from __future__ import annotations
@@ -37,11 +42,26 @@ class LintConfig:
     select: tuple[str, ...] = ()   # empty = all rules
     ignore: tuple[str, ...] = ()
     sql_exclude: tuple[str, ...] = ("src/repro/sql",)
+    #: ``(path_prefix, rule_or_family)`` pairs; the rule is dropped for
+    #: files at or under the prefix.
+    per_path_ignore: tuple[tuple[str, str], ...] = ()
 
     def rule_enabled(self, rule_id: str) -> bool:
         if self.select and not _matches(rule_id, self.select):
             return False
         return not _matches(rule_id, self.ignore)
+
+    def rule_enabled_at(self, rule_id: str, path: str) -> bool:
+        """Rule enabled, taking per-path ignores for ``path`` into
+        account (used once the file being linted is known)."""
+        if not self.rule_enabled(rule_id):
+            return False
+        normalized = _normalize(path)
+        for prefix, pattern in self.per_path_ignore:
+            if _path_under(normalized, prefix) and \
+                    _matches(rule_id, (pattern,)):
+                return False
+        return True
 
     def narrowed(self, select: Optional[Iterable[str]] = None,
                  ignore: Optional[Iterable[str]] = None) -> "LintConfig":
@@ -51,7 +71,8 @@ class LintConfig:
             paths=self.paths,
             select=tuple(select) if select else self.select,
             ignore=self.ignore + tuple(ignore or ()),
-            sql_exclude=self.sql_exclude)
+            sql_exclude=self.sql_exclude,
+            per_path_ignore=self.per_path_ignore)
 
     def sql_excluded(self, path: str) -> bool:
         normalized = path.replace(os.sep, "/")
@@ -60,6 +81,38 @@ class LintConfig:
 
 def _matches(rule_id: str, patterns: tuple[str, ...]) -> bool:
     return any(rule_id == p or rule_id.startswith(p) for p in patterns)
+
+
+def _normalize(path: str) -> str:
+    normalized = path.replace(os.sep, "/")
+    while normalized.startswith("./"):
+        normalized = normalized[2:]
+    return normalized
+
+
+def _path_under(path: str, prefix: str) -> bool:
+    """Whether ``path`` lies at or under ``prefix``.
+
+    The prefix may match anywhere in the path on directory boundaries,
+    so a relative prefix like ``tests/sim`` also covers the absolute
+    paths the test-suite gate lints (mirrors ``sql-exclude``)."""
+    prefix = _normalize(prefix).rstrip("/")
+    return (path == prefix or path.startswith(prefix + "/")
+            or f"/{prefix}/" in path or path.endswith(f"/{prefix}"))
+
+
+def _parse_per_path(entries: Iterable[str]) -> tuple[tuple[str, str], ...]:
+    pairs: list[tuple[str, str]] = []
+    for entry in entries:
+        prefix, sep, rules = entry.partition(":")
+        if not sep or not prefix.strip() or not rules.strip():
+            raise ValueError(
+                f"[tool.simlint] per-path-ignore entry must look like "
+                f"'path/prefix:RULE', got {entry!r}")
+        for rule in rules.split(","):
+            if rule.strip():
+                pairs.append((prefix.strip(), rule.strip()))
+    return tuple(pairs)
 
 
 DEFAULT_CONFIG = LintConfig()
@@ -97,7 +150,9 @@ def config_from_table(table: dict) -> LintConfig:
         paths=str_list("paths", DEFAULT_CONFIG.paths),
         select=str_list("select", DEFAULT_CONFIG.select),
         ignore=str_list("ignore", DEFAULT_CONFIG.ignore),
-        sql_exclude=str_list("sql-exclude", DEFAULT_CONFIG.sql_exclude))
+        sql_exclude=str_list("sql-exclude", DEFAULT_CONFIG.sql_exclude),
+        per_path_ignore=_parse_per_path(
+            str_list("per-path-ignore", ())))
 
 
 _TABLE_HEADER = re.compile(r"^\s*\[(?P<name>[^\]]+)\]\s*$")

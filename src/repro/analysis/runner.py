@@ -4,6 +4,9 @@ from __future__ import annotations
 
 import ast
 import json
+import time
+from collections import Counter
+from dataclasses import dataclass, field
 import os
 from typing import Iterable, Optional, Sequence
 
@@ -11,37 +14,84 @@ from .config import DEFAULT_CONFIG, LintConfig
 from .findings import Finding
 from .visitor import LintContext, Rule, all_rules
 
-__all__ = ["lint_source", "lint_file", "lint_paths",
+__all__ = ["LintStats", "lint_source", "lint_file", "lint_paths",
            "format_findings_text", "format_findings_json"]
 
 
-def _enabled_rules(config: LintConfig,
-                   rules: Optional[Sequence[Rule]]) -> list[Rule]:
-    return [rule for rule in (rules if rules is not None else all_rules())
-            if config.rule_enabled(rule.rule_id)]
+@dataclass
+class LintStats:
+    """Per-run accounting: what each rule found and what it cost.
+
+    ``python -m repro lint --stats`` prints this so lint cost stays
+    visible in CI logs — a rule whose wall-time balloons gets caught
+    in review, not six months later.
+    """
+
+    files: int = 0
+    findings_per_rule: Counter = field(default_factory=Counter)
+    seconds_per_rule: dict = field(default_factory=dict)
+    total_seconds: float = 0.0
+
+    def observe(self, rule_id: str, findings: int,
+                seconds: float) -> None:
+        self.findings_per_rule[rule_id] += findings
+        self.seconds_per_rule[rule_id] = \
+            self.seconds_per_rule.get(rule_id, 0.0) + seconds
+
+    def render(self) -> str:
+        lines = [f"simlint stats: {self.files} file"
+                 f"{'s' if self.files != 1 else ''}, "
+                 f"{self.total_seconds * 1000:.0f} ms total"]
+        for rule_id in sorted(self.seconds_per_rule):
+            lines.append(
+                f"  {rule_id}: {self.findings_per_rule[rule_id]} "
+                f"finding{'s' if self.findings_per_rule[rule_id] != 1 else ''}"
+                f", {self.seconds_per_rule[rule_id] * 1000:.1f} ms")
+        return "\n".join(lines)
+
+
+def _enabled_rules(config: LintConfig, rules: Optional[Sequence[Rule]],
+                   path: Optional[str] = None) -> list[Rule]:
+    candidates = rules if rules is not None else all_rules()
+    if path is None:
+        return [rule for rule in candidates
+                if config.rule_enabled(rule.rule_id)]
+    return [rule for rule in candidates
+            if config.rule_enabled_at(rule.rule_id, path)]
 
 
 def lint_source(source: str, path: str = "<string>",
                 config: LintConfig = DEFAULT_CONFIG,
-                rules: Optional[Sequence[Rule]] = None) -> list[Finding]:
-    """Lint one file's text; ``path`` is used in findings and for the
-    SQL-exclusion patterns."""
+                rules: Optional[Sequence[Rule]] = None,
+                stats: Optional[LintStats] = None) -> list[Finding]:
+    """Lint one file's text; ``path`` is used in findings, for the
+    per-path ignores and for the SQL-exclusion patterns."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as error:
         return [Finding(path, error.lineno or 1, error.offset or 0,
                         "PARSE", f"file does not parse: {error.msg}")]
     context = LintContext(path, source, tree, config)
-    for rule in _enabled_rules(config, rules):
+    if stats is not None:
+        stats.files += 1
+    for rule in _enabled_rules(config, rules, path=path):
+        before = len(context.findings)
+        # Wall-clock here measures the linter itself, not simulation
+        # behaviour; the determinism rule does not apply to it.
+        started = time.perf_counter()  # simlint: disable=DET001
         rule.check(context)
+        if stats is not None:
+            stats.observe(rule.rule_id, len(context.findings) - before,
+                          time.perf_counter() - started)  # simlint: disable=DET001
     return sorted(context.findings)
 
 
 def lint_file(path: str, config: LintConfig = DEFAULT_CONFIG,
-              rules: Optional[Sequence[Rule]] = None) -> list[Finding]:
+              rules: Optional[Sequence[Rule]] = None,
+              stats: Optional[LintStats] = None) -> list[Finding]:
     with open(path, "r", encoding="utf-8") as handle:
         return lint_source(handle.read(), path=path, config=config,
-                           rules=rules)
+                           rules=rules, stats=stats)
 
 
 def _python_files(path: str) -> Iterable[str]:
@@ -61,15 +111,21 @@ def _python_files(path: str) -> Iterable[str]:
 
 def lint_paths(paths: Optional[Iterable[str]] = None,
                config: LintConfig = DEFAULT_CONFIG,
-               rules: Optional[Sequence[Rule]] = None) -> list[Finding]:
+               rules: Optional[Sequence[Rule]] = None,
+               stats: Optional[LintStats] = None) -> list[Finding]:
     """Lint every ``*.py`` file under ``paths`` (default: the config's
     paths), findings sorted by location."""
     findings: list[Finding] = []
-    resolved_rules = _enabled_rules(config, rules)
+    started = time.perf_counter()  # simlint: disable=DET001
+    resolved_rules = list(rules) if rules is not None else all_rules()
     for path in (paths if paths is not None else config.paths):
         for filename in _python_files(path):
             findings.extend(lint_file(filename, config=config,
-                                      rules=resolved_rules))
+                                      rules=resolved_rules,
+                                      stats=stats))
+    if stats is not None:
+        stats.total_seconds = \
+            time.perf_counter() - started  # simlint: disable=DET001
     return sorted(findings)
 
 

@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 output for simlint findings.
+
+The Static Analysis Results Interchange Format is what GitHub code
+scanning consumes (``github/codeql-action/upload-sarif``): uploading a
+run makes every finding annotate the PR diff at its file/line.  Only
+the schema subset GitHub reads is emitted — one ``run`` with a tool
+descriptor (every known rule, so rule metadata renders even for rules
+with zero findings this run) and one ``result`` per finding.
+
+Columns: simlint stores 0-based columns (as ``ast`` reports them);
+SARIF regions are 1-based, so ``startColumn = column + 1``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+from .findings import Finding
+from .visitor import Rule
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "format_findings_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_TOOL_URI = ("https://github.com/paper-repro/icde2012-replication"
+             "#static-analysis--determinism-guarantees")
+
+
+def _artifact_uri(path: str) -> str:
+    uri = path.replace("\\", "/")
+    while uri.startswith("./"):
+        uri = uri[2:]
+    return uri
+
+
+def _rule_descriptor(rule: Rule) -> dict:
+    descriptor = {
+        "id": rule.rule_id,
+        "shortDescription": {"text": rule.description},
+    }
+    if rule.hint:
+        descriptor["help"] = {"text": rule.hint}
+    return descriptor
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
+    message = finding.message
+    if finding.hint:
+        message += f" (hint: {finding.hint})"
+    result = {
+        "ruleId": finding.rule_id,
+        "level": "error",
+        "message": {"text": message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": _artifact_uri(finding.path),
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {
+                    "startLine": max(finding.line, 1),
+                    "startColumn": finding.column + 1,
+                },
+            },
+        }],
+    }
+    if finding.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule_id]
+    return result
+
+
+def format_findings_sarif(findings: Sequence[Finding],
+                          rules: Optional[Sequence[Rule]] = None,
+                          tool_version: str = "1.0.0") -> str:
+    """One SARIF 2.1.0 document (a JSON string) for a lint run."""
+    if rules is None:
+        from .visitor import all_rules
+        rules = all_rules()
+    descriptors = [_rule_descriptor(rule) for rule in rules]
+    rule_index = {descriptor["id"]: position
+                  for position, descriptor in enumerate(descriptors)}
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simlint",
+                    "informationUri": _TOOL_URI,
+                    "version": tool_version,
+                    "rules": descriptors,
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": [_result(finding, rule_index)
+                        for finding in findings],
+        }],
+    }
+    return json.dumps(document, indent=2)

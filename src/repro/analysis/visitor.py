@@ -29,6 +29,9 @@ class LintContext:
         self.tree = tree
         self.config = config
         self.findings: list[Finding] = []
+        #: Scratch space rules share within one file (e.g. the flow
+        #: rules memoize each function's CFG here).
+        self.cache: dict = {}
         self._suppressions = _parse_suppressions(source)
         #: module-level ``NAME = "literal"`` assignments, used by the
         #: SQL rules to resolve f-string placeholders like
@@ -71,10 +74,11 @@ class Rule:
 
 
 def all_rules() -> list[Rule]:
-    """One instance of every known rule, DET then SIM then SQL."""
+    """One instance of every known rule, DET/SIM/SQL then FLW."""
+    from .flow import rules as flowrules
     from .rules import determinism, simsafety, sqlcheck
     rules: list[Rule] = []
-    for module in (determinism, simsafety, sqlcheck):
+    for module in (determinism, simsafety, sqlcheck, flowrules):
         rules.extend(cls() for cls in module.RULES)
     return rules
 

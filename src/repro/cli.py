@@ -113,12 +113,15 @@ def build_parser() -> argparse.ArgumentParser:
     cell.set_defaults(handler=_run_cell)
 
     lint = sub.add_parser(
-        "lint", help="simlint: determinism / sim-safety / SQL checks")
+        "lint", help="simlint: determinism / sim-safety / SQL / "
+                     "flow-pairing checks")
     lint.add_argument("paths", nargs="*",
                       help="files or directories (default: the "
-                           "[tool.simlint] paths, i.e. src/repro)")
-    lint.add_argument("--format", choices=("text", "json"),
-                      default="text")
+                           "[tool.simlint] paths)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text",
+                      help="sarif emits a SARIF 2.1.0 document for "
+                           "GitHub code scanning")
     lint.add_argument("--select", action="append", default=None,
                       metavar="RULES",
                       help="only these rule ids/families "
@@ -127,6 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="RULES",
                       help="drop these rule ids/families "
                            "(comma-separated, repeatable)")
+    lint.add_argument("--stats", action="store_true",
+                      help="print per-rule finding counts and "
+                           "wall-time (to stderr for json/sarif)")
     lint.set_defaults(handler=_run_lint)
 
     return parser
@@ -229,8 +235,11 @@ def _split_rule_lists(values: Optional[Sequence[str]]) -> list[str]:
 
 
 def _run_lint(args) -> tuple[str, int]:
-    from .analysis import (all_rules, format_findings_json,
-                           format_findings_text, lint_paths, load_config)
+    import sys
+
+    from .analysis import (LintStats, all_rules, format_findings_json,
+                           format_findings_sarif, format_findings_text,
+                           lint_paths, load_config)
     select = _split_rule_lists(args.select)
     ignore = _split_rule_lists(args.ignore)
     # A typo'd rule id would silently disable checks (exit 0), so an
@@ -243,14 +252,24 @@ def _run_lint(args) -> tuple[str, int]:
         return ("simlint: error: unknown rule or family: "
                 f"{', '.join(unknown)} (known: {', '.join(known)})", 2)
     config = load_config(".").narrowed(select=select, ignore=ignore)
+    stats = LintStats() if args.stats else None
     try:
-        findings = lint_paths(args.paths or None, config=config)
+        findings = lint_paths(args.paths or None, config=config,
+                              stats=stats)
     except FileNotFoundError as error:
         return f"simlint: error: {error}", 2
     if args.format == "json":
         text = format_findings_json(findings)
+    elif args.format == "sarif":
+        text = format_findings_sarif(findings)
     else:
         text = format_findings_text(findings)
+    if stats is not None:
+        if args.format == "text":
+            text = f"{text}\n{stats.render()}"
+        else:
+            # Keep stdout a valid JSON/SARIF document.
+            print(stats.render(), file=sys.stderr)
     return text, (1 if findings else 0)
 
 

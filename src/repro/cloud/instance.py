@@ -127,8 +127,12 @@ class Instance:
             yield from instance.compute(0.010)
         """
         request = self.cpu.request()
-        yield request
         try:
+            # The wait itself sits inside the try: an interrupt thrown
+            # in while queued must cancel the claim (releasing an
+            # ungranted request does exactly that), or the core count
+            # silently shrinks.
+            yield request
             service = self.service_time(work)
             yield self.sim.timeout(service)
             self._busy_time += service
@@ -145,8 +149,8 @@ class Instance:
         request has waited its turn, like a real server.
         """
         request = self.cpu.request()
-        yield request
         try:
+            yield request
             result, work = job()
             service = self.service_time(work)
             yield self.sim.timeout(service)

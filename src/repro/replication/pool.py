@@ -46,7 +46,14 @@ class ConnectionPool:
         """
         asked_at = self.sim.now
         request = self._slots.request()
-        yield request
+        try:
+            yield request
+        except BaseException:
+            # The borrower was interrupted (or the grant failed) while
+            # waiting: withdraw the claim, or the pool permanently
+            # loses a slot.  Releasing an ungranted request cancels it.
+            self._slots.release(request)
+            raise
         waited = self.sim.now - asked_at
         self.total_borrows += 1
         self.total_wait_time += waited

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
+from ...db.errors import DatabaseError
 from ...metrics import TimeSeries
 from ...replication.pool import ConnectionPool
 from ...replication.proxy import ReadWriteSplitProxy
@@ -123,6 +124,14 @@ class LoadGenerator:
                     yield from self.proxy.execute(sql, server=server)
                 if operation.is_write:
                     self.proxy.note_write(index)
+            except DatabaseError:
+                # A failed operation (server offline mid-failover,
+                # rejected statement) must not kill the emulated user:
+                # real Cloudstone drivers log the error and keep
+                # generating load.  The finally below still returns
+                # the connection, so pool.active drains back to zero.
+                self.errors += 1
+                continue
             finally:
                 self.pool.release(connection)
             latency = self.sim.now - started_at

@@ -1,0 +1,243 @@
+"""Exact node/edge sets of the flow CFG builder on tricky shapes.
+
+Labels are deterministic (``NodeType@line``), so each test pins the
+complete graph — any builder change that adds, drops or rewires an
+edge fails loudly here.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.flow.cfg import build_cfg, may_raise
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+# --------------------------------------------------- nested try/finally
+def test_nested_try_finally_chains_cleanups():
+    cfg = cfg_of('''
+    def f():
+        try:
+            try:
+                work()
+            finally:
+                inner()
+        finally:
+            outer()
+        after()
+    ''')
+    assert cfg.node_labels() == {
+        "<entry>", "<exit>", "Expr@5", "finally@7", "Expr@7",
+        "finally@9", "Expr@9", "Expr@10"}
+    assert cfg.edge_set() == {
+        ("<entry>", "Expr@5", "normal"),
+        # work() reaches the inner finally whether it raises or not.
+        ("Expr@5", "finally@7", "normal"),
+        ("Expr@5", "finally@7", "exception"),
+        ("finally@7", "Expr@7", "normal"),
+        # inner() itself may raise; either way the outer finally runs.
+        ("Expr@7", "finally@9", "normal"),
+        ("Expr@7", "finally@9", "exception"),
+        ("finally@9", "Expr@9", "normal"),
+        # outer(): re-raise propagates to <exit>, fall-through
+        # continues to after().
+        ("Expr@9", "<exit>", "exception"),
+        ("Expr@9", "Expr@10", "normal"),
+        ("Expr@10", "<exit>", "normal"),
+        ("Expr@10", "<exit>", "exception"),
+    }
+
+
+# ------------------------------------------------ loop with break+else
+def test_loop_with_break_and_else():
+    cfg = cfg_of('''
+    def f(items):
+        for item in items:
+            if item:
+                break
+        else:
+            missed()
+        after()
+    ''')
+    assert cfg.node_labels() == {
+        "<entry>", "<exit>", "For@3", "If@4", "Break@5", "Expr@7",
+        "Expr@8"}
+    assert cfg.edge_set() == {
+        ("<entry>", "For@3", "normal"),
+        ("For@3", "If@4", "normal"),      # next item
+        ("For@3", "Expr@7", "normal"),    # exhausted -> else clause
+        ("If@4", "Break@5", "normal"),
+        ("If@4", "For@3", "normal"),      # test false -> back edge
+        ("Break@5", "Expr@8", "normal"),  # break skips the else
+        ("Expr@7", "Expr@8", "normal"),
+        ("Expr@7", "<exit>", "exception"),
+        ("Expr@8", "<exit>", "normal"),
+        ("Expr@8", "<exit>", "exception"),
+    }
+
+
+def test_break_through_finally_routes_via_cleanup():
+    cfg = cfg_of('''
+    def f(items):
+        for item in items:
+            try:
+                break
+            finally:
+                cleanup()
+        after()
+    ''')
+    edges = cfg.edge_set()
+    # The break must pass through the finally body, then reach the
+    # loop-exit join, then the statement after the loop.
+    assert ("Break@5", "finally@7", "normal") in edges
+    assert ("Expr@7", "loop-exit@3", "normal") in edges
+    assert ("loop-exit@3", "Expr@8", "normal") in edges
+    # No shortcut from the break straight past the cleanup.
+    assert ("Break@5", "Expr@8", "normal") not in edges
+    assert ("Break@5", "loop-exit@3", "normal") not in edges
+
+
+# ------------------------------------------- generator, multiple returns
+def test_generator_with_multiple_returns():
+    cfg = cfg_of('''
+    def f(flag):
+        if flag:
+            yield 1
+            return
+        yield 2
+        return
+    ''')
+    assert cfg.node_labels() == {
+        "<entry>", "<exit>", "If@3", "Expr@4", "Return@5", "Expr@6",
+        "Return@7"}
+    assert cfg.edge_set() == {
+        ("<entry>", "If@3", "normal"),
+        ("If@3", "Expr@4", "normal"),
+        ("If@3", "Expr@6", "normal"),
+        # A yield may raise: the kernel can throw into a waiting
+        # process (Process.interrupt).
+        ("Expr@4", "<exit>", "exception"),
+        ("Expr@4", "Return@5", "normal"),
+        ("Return@5", "<exit>", "normal"),
+        ("Expr@6", "<exit>", "exception"),
+        ("Expr@6", "Return@7", "normal"),
+        ("Return@7", "<exit>", "normal"),
+    }
+
+
+# ------------------------------------------------------- with unwinding
+def test_with_unwinding():
+    cfg = cfg_of('''
+    def f():
+        with open_thing() as h:
+            use(h)
+        after()
+    ''')
+    assert cfg.node_labels() == {
+        "<entry>", "<exit>", "With@3", "with-exit@3", "Expr@4",
+        "Expr@5"}
+    assert cfg.edge_set() == {
+        ("<entry>", "With@3", "normal"),
+        # Entering the context manager may raise.
+        ("With@3", "<exit>", "exception"),
+        ("With@3", "Expr@4", "normal"),
+        # The body reaches __exit__ on both outcomes.
+        ("Expr@4", "with-exit@3", "normal"),
+        ("Expr@4", "with-exit@3", "exception"),
+        # __exit__ re-raises or falls through.
+        ("with-exit@3", "<exit>", "exception"),
+        ("with-exit@3", "Expr@5", "normal"),
+        ("Expr@5", "<exit>", "normal"),
+        ("Expr@5", "<exit>", "exception"),
+    }
+
+
+def test_return_inside_with_routes_through_exit_node():
+    cfg = cfg_of('''
+    def f():
+        with lock() as h:
+            return h
+        after()
+    ''')
+    edges = cfg.edge_set()
+    assert ("Return@4", "with-exit@3", "normal") in edges
+    assert ("with-exit@3", "<exit>", "normal") in edges
+    assert ("Return@4", "<exit>", "normal") not in edges
+
+
+# ------------------------------------------------------- odds and ends
+def test_unreachable_code_still_gets_nodes():
+    cfg = cfg_of('''
+    def f():
+        return 1
+        dead()
+    ''')
+    assert "Expr@4" in cfg.node_labels()
+    reachable = {cfg.nodes[i].label for i in cfg.reachable()}
+    assert "Expr@4" not in reachable
+
+
+def test_continue_jumps_to_header():
+    cfg = cfg_of('''
+    def f(items):
+        for item in items:
+            if item:
+                continue
+            use(item)
+    ''')
+    edges = cfg.edge_set()
+    assert ("Continue@5", "For@3", "normal") in edges
+    assert ("Expr@6", "For@3", "normal") in edges
+
+
+def test_except_handlers_are_exception_targets():
+    cfg = cfg_of('''
+    def f():
+        try:
+            work()
+        except ValueError:
+            fix()
+        after()
+    ''')
+    edges = cfg.edge_set()
+    assert ("Expr@4", "except@5", "exception") in edges
+    # ValueError is not a catch-all: the unmatched case escapes.
+    assert ("Expr@4", "<exit>", "exception") in edges
+    assert ("except@5", "Expr@6", "normal") in edges
+    assert ("Expr@6", "Expr@7", "normal") in edges
+
+
+def test_catch_all_handler_stops_propagation():
+    cfg = cfg_of('''
+    def f():
+        try:
+            work()
+        except Exception:
+            fix()
+    ''')
+    edges = cfg.edge_set()
+    assert ("Expr@4", "except@5", "exception") in edges
+    assert ("Expr@4", "<exit>", "exception") not in edges
+
+
+def test_label_collision_gets_suffix():
+    cfg = cfg_of('''
+    def f():
+        a(); b()
+    ''')
+    assert {"Expr@3", "Expr@3.2"} <= cfg.node_labels()
+
+
+def test_may_raise_policy():
+    call, = ast.parse("f()").body
+    plain, = ast.parse("x = y.z").body
+    ylds, = ast.parse("def g():\n yield 1").body[0].body
+    assert may_raise(call)
+    assert not may_raise(plain)
+    assert may_raise(ylds)
+    # A nested def's body is opaque: its calls don't run here.
+    nested, = ast.parse("def g():\n  h()").body
+    assert not may_raise(nested)

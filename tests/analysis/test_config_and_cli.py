@@ -38,8 +38,9 @@ def test_narrowed_applies_cli_overrides():
 # ------------------------------------------------------------- loading
 def test_load_config_reads_repo_pyproject():
     config = load_config(REPO_ROOT)
-    assert config.paths == ("src/repro",)
+    assert config.paths == ("src/repro", "tests", "benchmarks")
     assert "src/repro/sql" in config.sql_exclude
+    assert ("tests/sim", "FLW002") in config.per_path_ignore
 
 
 def test_load_config_defaults_without_pyproject(tmp_path):
@@ -80,6 +81,62 @@ def test_fallback_parser_matches_tomllib_for_our_table():
 def test_config_rejects_non_string_lists():
     with pytest.raises(ValueError):
         config_from_table({"paths": [1, 2]})
+
+
+# ----------------------------------------------------- per-path ignore
+def test_per_path_ignore_drops_rule_under_prefix():
+    config = LintConfig(per_path_ignore=(("tests/sim", "FLW002"),))
+    assert not config.rule_enabled_at("FLW002", "tests/sim/test_x.py")
+    assert not config.rule_enabled_at("FLW002", "./tests/sim/deep/y.py")
+    # Other rules and other paths are unaffected.
+    assert config.rule_enabled_at("FLW001", "tests/sim/test_x.py")
+    assert config.rule_enabled_at("FLW002", "tests/simx/test_x.py")
+    assert config.rule_enabled_at("FLW002", "src/repro/pool.py")
+
+
+def test_per_path_ignore_accepts_family_prefix():
+    config = LintConfig(per_path_ignore=(("tests/sql", "SQL"),))
+    assert not config.rule_enabled_at("SQL001", "tests/sql/t.py")
+    assert not config.rule_enabled_at("SQL003", "tests/sql/t.py")
+    assert config.rule_enabled_at("DET001", "tests/sql/t.py")
+
+
+def test_per_path_ignore_parses_from_table():
+    config = config_from_table(
+        {"per-path-ignore": ["tests/sim:FLW002,FLW001",
+                             "benchmarks:DET"]})
+    assert ("tests/sim", "FLW002") in config.per_path_ignore
+    assert ("tests/sim", "FLW001") in config.per_path_ignore
+    assert ("benchmarks", "DET") in config.per_path_ignore
+
+
+def test_per_path_ignore_rejects_malformed_entry():
+    with pytest.raises(ValueError):
+        config_from_table({"per-path-ignore": ["no-colon-here"]})
+
+
+def test_per_path_ignore_survives_narrowed():
+    config = LintConfig(per_path_ignore=(("tests", "SQL"),))
+    narrowed = config.narrowed(ignore=["DET005"])
+    assert not narrowed.rule_enabled_at("SQL001", "tests/t.py")
+
+
+def test_per_path_ignore_applies_through_lint_paths(tmp_path):
+    leaky = ("def worker(sim, res):\n"
+             "    req = res.request()\n"
+             "    yield req\n")
+    exempt = tmp_path / "exempt"
+    exempt.mkdir()
+    (exempt / "t.py").write_text(leaky)
+    checked = tmp_path / "checked"
+    checked.mkdir()
+    (checked / "t.py").write_text(leaky)
+    prefix = str(exempt).replace(os.sep, "/")
+    config = LintConfig(sql_exclude=(),
+                        per_path_ignore=((prefix, "FLW002"),))
+    findings = lint_paths([str(tmp_path)], config=config)
+    assert [finding.rule_id for finding in findings] == ["FLW002"]
+    assert findings[0].path.startswith(str(checked))
 
 
 # ----------------------------------------------------------------- CLI
@@ -141,3 +198,28 @@ def test_cli_lint_missing_path_is_an_error(tmp_path, capsys):
     missing = str(tmp_path / "no_such_dir")
     assert main(["lint", missing]) == 2
     assert "does not exist" in capsys.readouterr().out
+
+
+def test_cli_lint_sarif_format(tmp_path, capsys):
+    assert main(["lint", "--format", "sarif",
+                 bad_module(tmp_path)]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    results = document["runs"][0]["results"]
+    assert [result["ruleId"] for result in results] == ["SIM001"]
+
+
+def test_cli_lint_stats_appends_to_text(tmp_path, capsys):
+    assert main(["lint", "--stats", bad_module(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "simlint stats: 1 file" in out
+    assert "SIM001: 1 finding" in out
+
+
+def test_cli_lint_stats_goes_to_stderr_for_machine_formats(tmp_path,
+                                                           capsys):
+    assert main(["lint", "--format", "json", "--stats",
+                 bad_module(tmp_path)]) == 1
+    captured = capsys.readouterr()
+    json.loads(captured.out)  # stdout stays a valid document
+    assert "simlint stats" in captured.err

@@ -1,0 +1,169 @@
+"""Unit tests for the forward may-dataflow solver."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.flow.cfg import build_cfg, node_expressions
+from repro.analysis.flow.dataflow import DataflowProblem, solve_forward
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+class AcquireRelease(DataflowProblem):
+    """Toy pairing: ``x = acquire()`` gens ``x``, ``release(x)`` kills."""
+
+    def gen(self, node):
+        stmt = node.stmt
+        if isinstance(stmt, ast.Assign) and \
+                isinstance(stmt.value, ast.Call) and \
+                isinstance(stmt.value.func, ast.Name) and \
+                stmt.value.func.id == "acquire" and \
+                isinstance(stmt.targets[0], ast.Name):
+            return frozenset({stmt.targets[0].id})
+        return frozenset()
+
+    def kill(self, node, facts):
+        killed = set()
+        for fragment in node_expressions(node):
+            for sub in ast.walk(fragment):
+                if isinstance(sub, ast.Call) and \
+                        isinstance(sub.func, ast.Name) and \
+                        sub.func.id == "release":
+                    for arg in sub.args:
+                        if isinstance(arg, ast.Name) and \
+                                arg.id in facts:
+                            killed.add(arg.id)
+        return frozenset(killed)
+
+
+def exit_facts(source):
+    cfg = cfg_of(source)
+    return solve_forward(cfg, AcquireRelease()).at_exit
+
+
+def test_straight_line_pairing_is_clean():
+    assert exit_facts('''
+    def f():
+        x = acquire()
+        release(x)
+    ''') == frozenset()
+
+
+def test_missing_release_reaches_exit():
+    assert exit_facts('''
+    def f():
+        x = acquire()
+        work(x)
+    ''') == {"x"}
+
+
+def test_release_on_one_branch_only_leaks():
+    assert exit_facts('''
+    def f(flag):
+        x = acquire()
+        if flag:
+            release(x)
+    ''') == {"x"}
+
+
+def test_release_on_both_branches_is_clean():
+    assert exit_facts('''
+    def f(flag):
+        x = acquire()
+        if flag:
+            release(x)
+        else:
+            release(x)
+    ''') == frozenset()
+
+
+def test_exception_edge_leaks_past_late_release():
+    # work(x) may raise before release(x) runs: the fact escapes along
+    # the exception edge to <exit>.
+    assert exit_facts('''
+    def f():
+        x = acquire()
+        work(x)
+        release(x)
+    ''') == {"x"}
+
+
+def test_finally_release_covers_exception_edge():
+    assert exit_facts('''
+    def f():
+        x = acquire()
+        try:
+            work(x)
+        finally:
+            release(x)
+    ''') == frozenset()
+
+
+def test_gen_does_not_flow_on_own_exception_edge():
+    # If acquire() itself raises, the assignment never happened: the
+    # fact must not reach <exit> from the gen node's exception edge.
+    assert exit_facts('''
+    def f():
+        x = acquire()
+        release(x)
+    ''') == frozenset()
+
+
+def test_loop_reacquire_converges():
+    assert exit_facts('''
+    def f(items):
+        for item in items:
+            x = acquire()
+            release(x)
+    ''') == frozenset()
+
+
+def test_leaving_is_edge_sensitive():
+    cfg = cfg_of('''
+    def f():
+        x = acquire()
+        release(x)
+    ''')
+    result = solve_forward(cfg, AcquireRelease())
+    gen_node = next(node for node in cfg.nodes
+                    if node.label == "Assign@3")
+    assert result.leaving(gen_node, "normal") == {"x"}
+    assert result.leaving(gen_node, "exception") == frozenset()
+
+
+def test_initial_facts_flow_from_entry():
+    class Seeded(AcquireRelease):
+        def initial(self):
+            return frozenset({"seed"})
+
+    cfg = cfg_of('''
+    def f():
+        pass
+    ''')
+    assert solve_forward(cfg, Seeded()).at_exit == {"seed"}
+
+
+def test_budget_guard_raises_on_nonmonotone_problem():
+    class Flapping(DataflowProblem):
+        """Alternates facts so IN sets never stabilize via the
+        max_iterations override (gen depends on mutable state)."""
+
+        def __init__(self):
+            self.tick = 0
+
+        def gen(self, node):
+            self.tick += 1
+            return frozenset({f"f{self.tick}"})
+
+    cfg = cfg_of('''
+    def f(items):
+        for item in items:
+            work(item)
+    ''')
+    with pytest.raises(RuntimeError, match="did not converge"):
+        solve_forward(cfg, Flapping(), max_iterations=10)

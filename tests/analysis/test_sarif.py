@@ -1,0 +1,72 @@
+"""SARIF 2.1.0 output: spot-checks of the schema shape GitHub reads."""
+
+import json
+
+from repro.analysis import all_rules, format_findings_sarif, lint_source
+from repro.analysis.findings import Finding
+from repro.analysis.sarif import SARIF_SCHEMA_URI, SARIF_VERSION
+
+
+def document_for(findings):
+    return json.loads(format_findings_sarif(findings))
+
+
+def test_top_level_shape():
+    document = document_for([])
+    assert document["$schema"] == SARIF_SCHEMA_URI
+    assert document["version"] == SARIF_VERSION == "2.1.0"
+    assert len(document["runs"]) == 1
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "simlint"
+    assert run["columnKind"] == "utf16CodeUnits"
+    assert run["results"] == []
+
+
+def test_driver_lists_every_rule_even_with_no_findings():
+    driver = document_for([])["runs"][0]["tool"]["driver"]
+    listed = {rule["id"] for rule in driver["rules"]}
+    assert listed == {rule.rule_id for rule in all_rules()}
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+
+
+def test_result_shape_and_one_based_columns():
+    finding = Finding(path="./src/repro/x.py", line=7, column=4,
+                      rule_id="FLW001", message="leaky",
+                      hint="use finally")
+    result = document_for([finding])["runs"][0]["results"][0]
+    assert result["ruleId"] == "FLW001"
+    assert result["level"] == "error"
+    assert "leaky" in result["message"]["text"]
+    assert "use finally" in result["message"]["text"]
+    location = result["locations"][0]["physicalLocation"]
+    # "./" is stripped so code scanning resolves the artifact.
+    assert location["artifactLocation"]["uri"] == "src/repro/x.py"
+    assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    # simlint columns are 0-based (ast), SARIF regions 1-based.
+    assert location["region"]["startLine"] == 7
+    assert location["region"]["startColumn"] == 5
+
+
+def test_rule_index_points_into_driver_rules():
+    finding = Finding(path="a.py", line=1, column=0,
+                      rule_id="DET001", message="clock read")
+    document = document_for([finding])
+    run = document["runs"][0]
+    result = run["results"][0]
+    index = result["ruleIndex"]
+    assert run["tool"]["driver"]["rules"][index]["id"] == "DET001"
+
+
+def test_round_trip_from_lint_source():
+    findings = lint_source(
+        "def user(sim, pool):\n"
+        "    conn = yield from pool.acquire()\n"
+        "    yield sim.timeout(1.0)\n"
+        "    pool.release(conn)\n",
+        path="src/repro/fake.py")
+    document = document_for(findings)
+    results = document["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["FLW001"]
+    assert results[0]["locations"][0]["physicalLocation"][
+        "region"]["startLine"] == 2

@@ -174,3 +174,47 @@ def test_pool_active_and_waiting_gauges(sim):
     sim.process(sampler(sim, pool))
     sim.run()
     assert snapshots == [(1, 1)]
+
+
+def test_interrupted_acquire_does_not_lose_pool_slot(sim):
+    """Regression: interrupting a borrower while it waits in
+    ``acquire()`` must cancel its claim, not permanently shrink the
+    pool.  (The waiting request used to leak its slot.)"""
+    from repro.sim import Interrupt
+
+    pool = ConnectionPool(sim, max_active=1)
+    order = []
+
+    def holder(sim, pool):
+        conn = yield from pool.acquire()
+        order.append("held")
+        yield sim.timeout(5.0)
+        pool.release(conn)
+
+    def waiter(sim, pool):
+        try:
+            conn = yield from pool.acquire()
+        except Interrupt:
+            order.append("interrupted")
+            return
+        pool.release(conn)  # pragma: no cover - must not be reached
+
+    def late_user(sim, pool):
+        yield sim.timeout(6.0)
+        conn = yield from pool.acquire()
+        order.append("late-acquired")
+        pool.release(conn)
+
+    sim.process(holder(sim, pool))
+    victim = sim.process(waiter(sim, pool))
+
+    def assassin(sim, victim):
+        yield sim.timeout(1.0)  # victim is queued behind the holder
+        victim.interrupt()
+
+    sim.process(assassin(sim, victim))
+    sim.process(late_user(sim, pool))
+    sim.run()
+    assert order == ["held", "interrupted", "late-acquired"]
+    assert pool.active == 0
+    assert pool.waiting == 0

@@ -138,3 +138,50 @@ def test_steady_window_offsets_from_start_time():
     assert generator.steady_window == (60.0, 100.0)
     sim.run(until=50.0 + PHASES.total)
     assert generator.steady_throughput() > 0.0
+
+
+class FlakyProxy:
+    """Delegates to a real proxy but injects DatabaseError periodically.
+
+    ``execute`` stays a process generator (the driver drives it with
+    ``yield from``), so the injected failure surfaces inside the
+    driver's operation loop exactly like a rejected statement or a
+    server that went offline mid-failover.
+    """
+
+    def __init__(self, proxy, fail_every=4):
+        self._proxy = proxy
+        self._fail_every = fail_every
+        self.calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._proxy, name)
+
+    def execute(self, statement, params=None, server=None):
+        self.calls += 1
+        if self.calls % self._fail_every == 0:
+            from repro.db.errors import DatabaseError
+            raise DatabaseError("injected failure")
+        result = yield from self._proxy.execute(statement, params=params,
+                                                server=server)
+        return result
+
+
+def test_failing_operation_releases_connection_and_user_survives():
+    """Regression: a DatabaseError mid-operation must not leak the
+    pooled connection (pool.active drains to 0) nor kill the emulated
+    user (load keeps flowing and the error is counted)."""
+    sim, streams, manager, proxy, pool, state = build_rig(seed=29)
+    flaky = FlakyProxy(proxy, fail_every=4)
+    generator = LoadGenerator(sim, flaky, pool, MIX_50_50, state, streams,
+                              n_users=8, think_time_mean=1.0,
+                              phases=PHASES)
+    generator.start()
+    sim.run(until=PHASES.total + 60.0)  # drain in-flight operations
+    # If a user died at its first error there could be at most
+    # n_users errors in the whole run; many more proves every user
+    # kept generating load after failing, and completions kept coming.
+    assert generator.errors > 4 * generator.n_users
+    assert len(generator.completions) > 4 * generator.n_users
+    assert pool.active == 0
+    assert pool.waiting == 0
