@@ -1,0 +1,97 @@
+"""Zero-cost-when-disabled guard for the observability layer.
+
+The kernel hot loop (schedule/post/step) gained one ``is not None``
+profiler guard per call; instrumentation sites elsewhere pay a
+truthiness check or a shared no-op span.  This bench times the same
+event-heavy workload on
+
+* a ``Simulator`` subclass whose hot methods are the pre-
+  instrumentation bodies (no guards at all) — the baseline, and
+* the real kernel with observability left disabled (the default),
+
+and asserts the disabled path stays within noise of the baseline.
+Timing uses ``timeit.repeat`` (best-of, so scheduler hiccups inflate
+neither side) — wall-clock never leaks into simulation results.
+"""
+
+from __future__ import annotations
+
+import heapq
+import timeit
+
+from conftest import publish
+from repro.sim import Simulator
+
+#: Allowed slowdown of the disabled-observability kernel over the
+#: uninstrumented baseline.  The guard is a single attribute check per
+#: event, far under timing noise; 1.5x is a loose tripwire that still
+#: catches accidental work on the disabled path (a real regression —
+#: building span objects, say — lands at several times baseline).
+MAX_SLOWDOWN = 1.5
+
+ROUNDS = 5
+EVENTS_PER_ROUND = 200_000
+
+
+class _UntracedSimulator(Simulator):
+    """The kernel's hot methods exactly as they were before the
+    observability hooks — the honest zero-instrumentation baseline."""
+
+    def _schedule(self, event, delay):
+        heapq.heappush(self._heap,
+                       (self._now + delay, next(self._counter), event))
+
+    def _post(self, event):
+        heapq.heappush(self._heap,
+                       (self._now, next(self._counter), event))
+
+    def step(self):
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        if not event._triggered:
+            event._triggered = True
+            event._ok = True
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+
+def _ticker(sim, count):
+    for _ in range(count):
+        yield sim.timeout(1.0)
+
+
+def _drive(simulator_cls) -> float:
+    sim = simulator_cls()
+    sim.process(_ticker(sim, EVENTS_PER_ROUND))
+    sim.run()
+    return sim.now
+
+
+def _best_seconds(simulator_cls) -> float:
+    timer = timeit.Timer(lambda: _drive(simulator_cls))
+    return min(timer.repeat(repeat=ROUNDS, number=1))
+
+
+def test_disabled_observability_within_noise_of_baseline(results_dir):
+    baseline = _best_seconds(_UntracedSimulator)
+    disabled = _best_seconds(Simulator)
+    slowdown = disabled / baseline
+    events_per_s = EVENTS_PER_ROUND / disabled
+    text = "\n".join([
+        "disabled-observability kernel overhead "
+        f"({EVENTS_PER_ROUND} events, best of {ROUNDS})",
+        f"baseline (uninstrumented): {baseline * 1e3:9.2f} ms",
+        f"disabled observability:    {disabled * 1e3:9.2f} ms",
+        f"slowdown:                  {slowdown:9.3f}x "
+        f"(guard: <= {MAX_SLOWDOWN}x)",
+        f"disabled-path event rate:  {events_per_s:9.0f} events/s",
+    ])
+    publish(results_dir, "obs_overhead", text)
+    assert slowdown <= MAX_SLOWDOWN, (
+        f"disabled observability costs {slowdown:.2f}x the "
+        f"uninstrumented kernel (limit {MAX_SLOWDOWN}x) — the disabled "
+        f"path is supposed to be a single guard per event")

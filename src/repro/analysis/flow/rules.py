@@ -43,7 +43,7 @@ from .dataflow import DataflowProblem, solve_forward
 
 __all__ = ["PoolAcquireLeakRule", "ResourceRequestLeakRule",
            "TransactionLeakRule", "UnreachableYieldRule",
-           "HandleEscapeRule", "RULES"]
+           "HandleEscapeRule", "SpanLeakRule", "RULES"]
 
 
 @dataclass(frozen=True)
@@ -185,7 +185,11 @@ def _settled_vars(expr: ast.AST, live: set[str]) -> set[str]:
 
 class _PairingRule(Rule):
     """Shared driver: solve the pairing problem per function, report
-    claims alive at exit.  Subclasses supply the acquire matcher."""
+    claims alive at exit.  Subclasses supply the acquire matcher (and
+    may swap in a problem subclass with extra kill sites)."""
+
+    problem_factory = _PairingProblem
+    leak_verb = "released"
 
     def match_acquire(self, value: Optional[ast.AST]) -> Optional[str]:
         raise NotImplementedError
@@ -198,7 +202,7 @@ class _PairingRule(Rule):
         return False
 
     def check(self, context: LintContext) -> None:
-        problem = _PairingProblem(self.match_acquire)
+        problem = self.problem_factory(self.match_acquire)
         for function in iter_functions(context.tree):
             if not self._has_acquire_site(function):
                 continue
@@ -213,7 +217,7 @@ class _PairingRule(Rule):
                     context, anchor,
                     f"{claim.desc} result {claim.var!r} (line "
                     f"{claim.line}) can reach the end of "
-                    f"{function.name!r} without being released")
+                    f"{function.name!r} without being {self.leak_verb}")
 
 
 class PoolAcquireLeakRule(_PairingRule):
@@ -246,6 +250,57 @@ class ResourceRequestLeakRule(_PairingRule):
         if isinstance(call, ast.Call) and _call_attr(call) == "request":
             receiver = qualified_name(call.func.value) or "resource"
             return f"{receiver}.request()"
+        return None
+
+
+# ------------------------------------------------------- scoped spans
+class _SpanProblem(_PairingProblem):
+    """Pairing facts for scoped spans: a receiver-position
+    ``v.end()`` also settles the claim (the shared core only settles
+    argument-position uses)."""
+
+    def kill(self, node: CFGNode, facts: frozenset) -> frozenset:
+        dead = super().kill(node, facts)
+        if len(dead) == len(facts):
+            return dead
+        live = {claim.var for claim in facts}
+        ended: set[str] = set()
+        for expr in node_expressions(node):
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Call) and \
+                        isinstance(sub.func, ast.Attribute) and \
+                        sub.func.attr == "end" and \
+                        isinstance(sub.func.value, ast.Name) and \
+                        sub.func.value.id in live:
+                    ended.add(sub.func.value.id)
+        if not ended:
+            return dead
+        return frozenset(set(dead) |
+                         {claim for claim in facts if claim.var in ended})
+
+
+class SpanLeakRule(_PairingRule):
+    """OBS001: a scoped span from ``tracer.span()`` must be closed on
+    every path.  The ``with`` form discharges the obligation
+    structurally; a bare assignment must reach ``end()`` (or transfer
+    ownership) on every path, exception edges included.  Flow spans
+    from ``tracer.open_span()`` are exempt by design — their ``end()``
+    happens in another process."""
+
+    rule_id = "OBS001"
+    description = "tracer.span() opened without end() on every path"
+    hint = "use 'with tracer.span(...):', end() in a finally: block, " \
+           "or tracer.open_span() for cross-process handoffs"
+    problem_factory = _SpanProblem
+    leak_verb = "ended"
+
+    def match_acquire(self, value):
+        call = value.value if isinstance(value, ast.YieldFrom) else value
+        if isinstance(call, ast.Call) and _call_attr(call) == "span":
+            receiver = qualified_name(call.func.value)
+            if receiver is not None and \
+                    receiver.rsplit(".", 1)[-1].lower().endswith("tracer"):
+                return f"{receiver}.span()"
         return None
 
 
@@ -421,4 +476,5 @@ class HandleEscapeRule(Rule):
 
 
 RULES = (PoolAcquireLeakRule, ResourceRequestLeakRule,
-         TransactionLeakRule, UnreachableYieldRule, HandleEscapeRule)
+         TransactionLeakRule, UnreachableYieldRule, HandleEscapeRule,
+         SpanLeakRule)

@@ -112,6 +112,26 @@ def build_parser() -> argparse.ArgumentParser:
     cell.add_argument("--seed", type=int, default=0)
     cell.set_defaults(handler=_run_cell)
 
+    trace = sub.add_parser(
+        "trace", help="run one observed cell; write a Chrome trace "
+                      "(Perfetto-loadable), span/metric JSONL and a "
+                      "kernel profile")
+    trace.add_argument("--ratio", choices=("50/50", "80/20"),
+                       default="50/50")
+    trace.add_argument("--location", type=_location,
+                       default=LocationConfig.SAME_ZONE)
+    trace.add_argument("--slaves", type=int, default=1)
+    trace.add_argument("--users", type=int, default=25)
+    trace.add_argument("--scale", choices=sorted(_PROFILES),
+                       default="quick")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", default="traces",
+                       help="directory the artifacts are written to")
+    trace.add_argument("--monitor-period", type=float, default=5.0,
+                       help="cluster-monitor sampling period (sim "
+                            "seconds)")
+    trace.set_defaults(handler=_run_trace)
+
     lint = sub.add_parser(
         "lint", help="simlint: determinism / sim-safety / SQL / "
                      "flow-pairing checks")
@@ -224,6 +244,31 @@ def _run_cell(args) -> str:
         f"{[round(u, 2) for u in result.slave_cpus]}",
         f"saturated resource:  {result.saturated_resource}",
     ])
+
+
+def _run_trace(args) -> str:
+    from .obs import Observability
+    profile = _PROFILES[args.scale]
+    factory = PAPER_50_50 if args.ratio == "50/50" else PAPER_80_20
+    config = factory(args.location, args.slaves, args.users,
+                     profile.phases, seed=args.seed,
+                     baseline_duration=profile.baseline_duration)
+    observe = Observability(monitor_period=args.monitor_period)
+    result = run_experiment(config, observe=observe)
+    paths = observe.write_artifacts(args.out)
+    delay = (f"{result.relative_delay_ms:.1f} ms"
+             if result.relative_delay_ms is not None else "n/a")
+    lines = [
+        f"cell: {config.label}",
+        f"throughput:     {result.throughput:.2f} ops/s",
+        f"relative delay: {delay}",
+        f"spans recorded: {len(observe.tracer.spans)}",
+        "",
+    ]
+    lines.extend(f"wrote {paths[name]}" for name in sorted(paths))
+    lines.append("")
+    lines.append(observe.render_profile())
+    return "\n".join(lines)
 
 
 def _split_rule_lists(values: Optional[Sequence[str]]) -> list[str]:

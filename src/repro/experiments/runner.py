@@ -24,7 +24,9 @@ from ..cloud.regions import MASTER_PLACEMENT
 from ..replication.heartbeat import (HeartbeatPlugin,
                                      average_relative_delay_ms,
                                      collect_delays)
+from ..obs import Observability
 from ..replication.manager import ReplicationManager
+from ..replication.monitor import ClusterMonitor
 from ..replication.pool import ConnectionPool
 from ..sim import RandomStreams, Simulator
 from ..workloads.cloudstone import LoadGenerator, load_initial_data
@@ -71,9 +73,18 @@ class ExperimentResult:
                 f"{self.saturated_resource:>9s}")
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Execute one cell and return its measurements."""
+def run_experiment(config: ExperimentConfig,
+                   observe: Optional[Observability] = None
+                   ) -> ExperimentResult:
+    """Execute one cell and return its measurements.
+
+    Pass an :class:`~repro.obs.Observability` session to record spans,
+    metrics and a kernel profile for the run; observation is read-only,
+    so results are identical with or without it.
+    """
     sim = Simulator()
+    if observe is not None:
+        observe.attach(sim)
     streams = RandomStreams(config.seed)
     cloud = Cloud(sim, streams)
     manager = ReplicationManager(sim, cloud, ntp_period=config.ntp_period)
@@ -91,8 +102,16 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         manager.add_slave(slave_placement)
     heartbeat.start()
 
+    monitor = None
+    if observe is not None and observe.monitor_period is not None:
+        monitor = ClusterMonitor(sim, manager,
+                                 period=observe.monitor_period)
+        monitor.start()
+
     # Idle baseline window for the relative-delay estimator.
-    sim.run(until=config.baseline_duration)
+    with sim.tracer.span("phase.baseline", category="experiment",
+                         track="experiment"):
+        sim.run(until=config.baseline_duration)
     workload_start = sim.now
 
     proxy = manager.build_proxy(MASTER_PLACEMENT)
@@ -120,8 +139,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             busy_at_end[instance.name] = instance.busy_time
 
     sim.process(cpu_probe(sim))
-    sim.run(until=workload_start + config.phases.total)
+    with sim.tracer.span("phase.workload", category="experiment",
+                         track="experiment", users=config.n_users,
+                         slaves=config.n_slaves):
+        sim.run(until=workload_start + config.phases.total)
     heartbeat.stop()
+    if monitor is not None:
+        monitor.stop()
 
     utilizations = {}
     window = steady_end - steady_start
@@ -148,6 +172,17 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             per_slave_delay.append(window * 1000.0)
     relative_delay = (sum(per_slave_delay) / len(per_slave_delay)
                       if per_slave_delay else None)
+
+    if sim.metrics.enabled:
+        sim.metrics.gauge("result.throughput").set(
+            generator.steady_throughput())
+        sim.metrics.gauge("result.mean_latency_s").set(
+            generator.steady_mean_latency())
+        if relative_delay is not None:
+            sim.metrics.gauge("result.relative_delay_ms").set(
+                relative_delay)
+    if observe is not None:
+        observe.finalize()
 
     return ExperimentResult(
         config=config,

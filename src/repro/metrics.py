@@ -3,6 +3,7 @@ workload driver and the experiment harness."""
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -57,7 +58,12 @@ def summarize(samples: Sequence[float]) -> Summary:
 
 
 class TimeSeries:
-    """(time, value) samples with window filtering."""
+    """(time, value) samples with window filtering.
+
+    Samples must be recorded in non-decreasing time order (simulated
+    clocks only move forward), which lets the window queries run in
+    O(log n) via bisect instead of scanning every sample.
+    """
 
     def __init__(self):
         self.times: list[float] = []
@@ -67,16 +73,30 @@ class TimeSeries:
         return len(self.times)
 
     def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"samples must be time-ordered: {time} after "
+                f"{self.times[-1]}")
         self.times.append(time)
         self.values.append(value)
 
+    def _bounds(self, start: float, end: float) -> tuple[int, int]:
+        """Index range [lo, hi) of samples with ``start <= time <
+        end``."""
+        if end <= start or not self.times:
+            return 0, 0
+        lo = bisect.bisect_left(self.times, start)
+        hi = bisect.bisect_left(self.times, end, lo)
+        return lo, hi
+
     def window(self, start: float, end: float) -> list[float]:
         """Values with ``start <= time < end``."""
-        return [v for t, v in zip(self.times, self.values)
-                if start <= t < end]
+        lo, hi = self._bounds(start, end)
+        return self.values[lo:hi]
 
     def count_in(self, start: float, end: float) -> int:
-        return sum(1 for t in self.times if start <= t < end)
+        lo, hi = self._bounds(start, end)
+        return hi - lo
 
     def rate_in(self, start: float, end: float) -> float:
         """Events per second over the window."""

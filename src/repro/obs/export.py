@@ -1,0 +1,123 @@
+"""Trace and metrics exporters: JSONL and Chrome trace-event format.
+
+Both exports are **byte-deterministic**: spans are sorted on
+``(start, span_id)``, JSON objects are dumped with sorted keys and
+fixed separators, and every timestamp is simulated time — so two runs
+with the same seed write identical files (the determinism test diffs
+them byte for byte).
+
+The Chrome document is the *JSON object format* (a ``traceEvents``
+array plus metadata keys), loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.  Sim seconds are
+exported as microseconds, the unit the format expects; each span
+track (one per simulation process, or an explicit track name) becomes
+a named thread via ``thread_name`` metadata events.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from .kernelprof import KernelProfiler
+from .metrics import MetricsRegistry
+from .tracer import ROOT, Span, Tracer
+
+__all__ = ["sorted_spans", "span_record", "spans_jsonl",
+           "metrics_jsonl", "chrome_trace"]
+
+_PID = 1
+
+
+def _dumps(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def sorted_spans(tracer: Tracer) -> list[Span]:
+    """Finished spans in (start, id) order — the canonical export order."""
+    return sorted(tracer.spans, key=lambda s: (s.start, s.span_id))
+
+
+def span_record(span: Span) -> dict:
+    """One span as a plain JSON-able dict (the JSONL schema)."""
+    record = {
+        "id": span.span_id,
+        "name": span.name,
+        "cat": span.category,
+        "track": span.track,
+        "start": span.start,
+        "end": span.end_time,
+        "dur": span.end_time - span.start,
+    }
+    if span.parent_id != ROOT:
+        record["parent"] = span.parent_id
+    if span.instant:
+        record["instant"] = True
+    if span.attributes:
+        record["attrs"] = span.attributes
+    return record
+
+
+def spans_jsonl(tracer: Tracer) -> str:
+    """One JSON object per finished span, one per line."""
+    lines = [_dumps(span_record(span)) for span in sorted_spans(tracer)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per instrument, one per line, sorted by name."""
+    lines = [_dumps(snapshot) for snapshot in registry.snapshot()]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def chrome_trace(tracer: Tracer,
+                 profiler: Optional[KernelProfiler] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> str:
+    """The full run as a Chrome trace-event JSON document.
+
+    Spans become complete (``"ph": "X"``) events, instants become
+    instant (``"ph": "i"``) events; the kernel profile and the metrics
+    snapshot ride along as top-level metadata keys, which trace viewers
+    ignore but tooling can read back.
+    """
+    spans = sorted_spans(tracer)
+    tracks: dict[str, int] = {}
+    events: list[dict] = [{
+        "ph": "M", "pid": _PID, "tid": 0, "name": "process_name",
+        "args": {"name": "repro simulation"},
+    }]
+    for span in spans:
+        tid = tracks.get(span.track)
+        if tid is None:
+            tid = len(tracks) + 1
+            tracks[span.track] = tid
+            events.append({
+                "ph": "M", "pid": _PID, "tid": tid,
+                "name": "thread_name", "args": {"name": span.track}})
+            events.append({
+                "ph": "M", "pid": _PID, "tid": tid,
+                "name": "thread_sort_index",
+                "args": {"sort_index": tid}})
+        args = dict(span.attributes)
+        args["span_id"] = span.span_id
+        if span.parent_id != ROOT:
+            args["parent_id"] = span.parent_id
+        event = {
+            "ph": "i" if span.instant else "X",
+            "pid": _PID, "tid": tid,
+            "ts": span.start * 1e6,
+            "name": span.name, "cat": span.category, "args": args,
+        }
+        if span.instant:
+            event["s"] = "t"
+        else:
+            event["dur"] = (span.end_time - span.start) * 1e6
+        events.append(event)
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if tracer.dropped:
+        document["droppedSpans"] = tracer.dropped
+    if profiler is not None:
+        document["kernelProfile"] = profiler.snapshot()
+    if metrics is not None:
+        document["metrics"] = metrics.snapshot()
+    return _dumps(document)

@@ -1,0 +1,207 @@
+"""Sim-time metrics: a registry of counters, gauges and histograms.
+
+Components publish operational numbers here (pool waits, relay
+backlog, CPU queue depth, per-op latency) instead of keeping them only
+in private dataclasses, so one exporter can dump every signal of a run.
+Gauges keep their full (sim-time, value) history in a
+:class:`~repro.metrics.TimeSeries`, which makes windowed queries cheap
+(bisect) and the export deterministic.
+
+Like the tracer, the registry has a null twin: :data:`NULL_METRICS`
+(``enabled`` is False) hands out shared no-op instruments, so
+publication sites are a guard check or a couple of no-op calls.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..metrics import TimeSeries
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "NullMetrics", "NULL_METRICS", "DEFAULT_BUCKETS"]
+
+#: Latency-flavoured histogram bounds, in seconds (upper edges; one
+#: implicit +inf bucket follows).
+DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative "
+                             f"increment {amount!r}")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"name": self.name, "kind": self.kind,
+                "value": self.value}
+
+
+class Gauge:
+    """A sampled value with full sim-time history."""
+
+    __slots__ = ("name", "series", "_now")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, now_fn: Callable[[], float]):
+        self.name = name
+        self.series = TimeSeries()
+        self._now = now_fn
+
+    def set(self, value: float) -> None:
+        self.series.record(self._now(), float(value))
+
+    @property
+    def value(self) -> float:
+        """Most recent sample (0.0 before the first ``set``)."""
+        return self.series.values[-1] if len(self.series) else 0.0
+
+    def snapshot(self) -> dict:
+        return {"name": self.name, "kind": self.kind,
+                "value": self.value, "samples": len(self.series),
+                "times": list(self.series.times),
+                "values": list(self.series.values)}
+
+
+class Histogram:
+    """Bucketed observations with count and sum."""
+
+    __slots__ = ("name", "buckets", "counts", "count", "total")
+
+    kind = "histogram"
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name!r}: buckets must be "
+                             f"sorted, got {buckets!r}")
+        self.name = name
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +1: overflow
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {"name": self.name, "kind": self.kind,
+                "count": self.count, "sum": self.total,
+                "buckets": list(self.buckets),
+                "counts": list(self.counts)}
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-create, deterministic export order."""
+
+    enabled = True
+
+    def __init__(self, now_fn: Optional[Callable[[], float]] = None):
+        #: Sim-clock source for gauge timestamps; defaults to a frozen
+        #: zero clock so a standalone registry still works.
+        self._now = now_fn if now_fn is not None else (lambda: 0.0)
+        self._instruments: dict = {}
+
+    def _get(self, name: str, kind: type, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise ValueError(
+                f"metric {name!r} is a {instrument.kind}, not a "
+                f"{kind.kind}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name, self._now))
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS
+                  ) -> Histogram:
+        return self._get(name, Histogram,
+                         lambda: Histogram(name, buckets))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def snapshot(self) -> list[dict]:
+        """Every instrument's state, sorted by name."""
+        return [self._instruments[name].snapshot()
+                for name in sorted(self._instruments)]
+
+
+class _NullInstrument:
+    """Counter/gauge/histogram lookalike that ignores everything."""
+
+    __slots__ = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The disabled registry: shared no-op instruments."""
+
+    enabled = False
+
+    def counter(self, name):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, buckets=DEFAULT_BUCKETS):
+        return _NULL_INSTRUMENT
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name) -> bool:
+        return False
+
+    def snapshot(self) -> list:
+        return []
+
+
+#: Process-wide singleton; ``Simulator`` starts with this attached.
+NULL_METRICS = NullMetrics()

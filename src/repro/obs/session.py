@@ -1,0 +1,103 @@
+"""The observability bundle: tracer + metrics + kernel profiler,
+attached to one simulator for one run.
+
+``run_experiment(config, observe=Observability())`` turns the whole
+pipeline's instrumentation on; afterwards :meth:`write_artifacts`
+drops four files::
+
+    trace.json     Chrome trace-event JSON (open in Perfetto)
+    spans.jsonl    one finished span per line
+    metrics.jsonl  one instrument snapshot per line
+    profile.txt    the kernel "where did simulated time go" table
+
+Everything is keyed off simulated time, so the artifacts are a pure
+function of the experiment config (seed included).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .export import chrome_trace, metrics_jsonl, spans_jsonl
+from .kernelprof import KernelProfiler, render_profile
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """Configuration + live handles for one observed run."""
+
+    def __init__(self, trace: bool = True, metrics: bool = True,
+                 profile: bool = True,
+                 monitor_period: Optional[float] = 5.0):
+        self._want_trace = trace
+        self._want_metrics = metrics
+        self._want_profile = profile
+        #: Period of the ClusterMonitor the runner starts for observed
+        #: runs (None: no monitor, gauges stay empty).
+        self.monitor_period = monitor_period
+        self.tracer: Optional[Tracer] = None
+        self.metrics: Optional[MetricsRegistry] = None
+        self.profiler: Optional[KernelProfiler] = None
+        self._sim = None
+
+    @property
+    def attached(self) -> bool:
+        return self._sim is not None
+
+    def attach(self, sim) -> "Observability":
+        """Wire the requested recorders into ``sim`` (once)."""
+        if self._sim is not None:
+            raise RuntimeError("Observability is already attached — "
+                               "use one bundle per run")
+        self._sim = sim
+        if self._want_trace:
+            self.tracer = Tracer(sim)
+            sim.tracer = self.tracer
+        if self._want_metrics:
+            self.metrics = MetricsRegistry(now_fn=lambda: sim.now)
+            sim.metrics = self.metrics
+        if self._want_profile:
+            self.profiler = KernelProfiler()
+            sim.profiler = self.profiler
+        return self
+
+    def finalize(self) -> None:
+        """Freeze the trace (drop any teardown-time span ends)."""
+        if self.tracer is not None:
+            self.tracer.close()
+
+    # -- artifacts -----------------------------------------------------------
+    def render_profile(self) -> str:
+        if self.profiler is None:
+            raise RuntimeError("profiling was not enabled")
+        return render_profile(self.profiler)
+
+    def write_artifacts(self, directory: str) -> dict[str, str]:
+        """Write every enabled artifact under ``directory``; returns
+        ``{artifact name: path}``."""
+        if not self.attached:
+            raise RuntimeError("Observability was never attached to a "
+                               "run — pass it to run_experiment")
+        os.makedirs(directory, exist_ok=True)
+        paths: dict[str, str] = {}
+
+        def write(name: str, text: str) -> None:
+            path = os.path.join(directory, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            paths[name] = path
+
+        if self.tracer is not None:
+            write("trace.json", chrome_trace(
+                self.tracer, profiler=self.profiler,
+                metrics=self.metrics))
+            write("spans.jsonl", spans_jsonl(self.tracer))
+        if self.metrics is not None:
+            write("metrics.jsonl", metrics_jsonl(self.metrics))
+        if self.profiler is not None:
+            write("profile.txt", render_profile(self.profiler) + "\n")
+        return paths

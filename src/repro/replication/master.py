@@ -49,13 +49,19 @@ class MasterServer(DatabaseServer):
 
     # -- binlog production ------------------------------------------------------
     def _on_commit(self, statements: list) -> None:
+        tracer = self.sim.tracer
         for payload, database in statements:
             if isinstance(payload, str):
-                self.binlog.append(payload, database, self.clock.now())
+                event = self.binlog.append(payload, database,
+                                           self.clock.now())
             else:
-                self.binlog.append(
+                event = self.binlog.append(
                     f"/* row-based event: {len(payload)} row(s) */",
                     database, self.clock.now(), row_ops=payload)
+            if tracer.enabled:
+                tracer.instant("repl.binlog", category="replication",
+                               track=f"repl:{self.name}",
+                               position=event.position)
 
     # -- slave attachment ---------------------------------------------------------
     def attach_slave(self, slave: "SlaveServer", network: Network) -> None:
@@ -88,11 +94,21 @@ class MasterServer(DatabaseServer):
 
     def _dump_thread(self, slave: "SlaveServer", channel: OrderedChannel):
         cursor = slave.start_position
+        tracer = self.sim.tracer
         try:
             while True:
                 yield self.binlog.wait_for(cursor)
                 events = self.binlog.read_from(cursor)
                 for event in events:
+                    if tracer.enabled:
+                        # Ownership transfers to the slave, which ends
+                        # the span when the event is delivered.
+                        span = tracer.open_span(
+                            "repl.ship", category="replication",
+                            track=f"repl:{slave.name}",
+                            position=event.position,
+                            size_bytes=event.size_bytes)
+                        slave.note_shipped(event.position, span)
                     channel.send(event, size_bytes=event.size_bytes)
                 cursor += len(events)
         except Exception:

@@ -133,6 +133,19 @@ class ClusterMonitor:
             binlog_head=master.binlog.head_position,
             slaves=slaves)
         self.samples.append(sample)
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            metrics.gauge("master.cpu_util").set(
+                sample.master_cpu_utilization)
+            metrics.gauge("master.cpu_queue").set(sample.master_cpu_queue)
+            metrics.gauge("master.binlog_head").set(sample.binlog_head)
+            for entry in sample.slaves:
+                prefix = f"slave.{entry.name}"
+                metrics.gauge(f"{prefix}.relay_backlog").set(
+                    entry.relay_backlog)
+                metrics.gauge(f"{prefix}.cpu_queue").set(entry.cpu_queue)
+                metrics.gauge(f"{prefix}.seconds_behind").set(
+                    entry.seconds_behind)
         return sample
 
     def _run(self):

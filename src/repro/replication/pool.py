@@ -47,17 +47,26 @@ class ConnectionPool:
         asked_at = self.sim.now
         request = self._slots.request()
         try:
-            yield request
+            with self.sim.tracer.span("pool.acquire", category="client",
+                                      waiting=self.waiting):
+                yield request
         except BaseException:
-            # The borrower was interrupted (or the grant failed) while
-            # waiting: withdraw the claim, or the pool permanently
-            # loses a slot.  Releasing an ungranted request cancels it.
+            # The borrower was interrupted (or the grant failed)
+            # while waiting: withdraw the claim, or the pool
+            # permanently loses a slot.  Releasing an ungranted
+            # request cancels it.
             self._slots.release(request)
             raise
         waited = self.sim.now - asked_at
         self.total_borrows += 1
         self.total_wait_time += waited
-        return PooledConnection(self, request, borrowed_at=self.sim.now)
+        connection = PooledConnection(self, request,
+                                      borrowed_at=self.sim.now)
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            metrics.counter("pool.borrows").inc()
+            metrics.histogram("pool.wait_s").observe(waited)
+        return connection
 
     def release(self, connection: PooledConnection) -> None:
         """Return a borrowed connection to the pool."""

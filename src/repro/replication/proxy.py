@@ -134,13 +134,18 @@ class ReadWriteSplitProxy:
         target = server if server is not None else self.route(statement)
         self._outstanding[target.name] = \
             self._outstanding.get(target.name, 0) + 1
-        try:
-            yield self.network.send(self.client_placement, target.placement)
-            result: ExecutionResult = yield from target.perform(
-                statement, params)
-            yield self.network.send(target.placement, self.client_placement)
-        finally:
-            self._outstanding[target.name] -= 1
+        with self.network.sim.tracer.span(
+                "proxy.execute", category="client", server=target.name,
+                write=statement.is_write):
+            try:
+                yield self.network.send(self.client_placement,
+                                        target.placement)
+                result: ExecutionResult = yield from target.perform(
+                    statement, params)
+                yield self.network.send(target.placement,
+                                        self.client_placement)
+            finally:
+                self._outstanding[target.name] -= 1
         return result
 
     def set_master(self, master: MasterServer) -> None:

@@ -91,7 +91,10 @@ class DatabaseServer:
             result = self.engine.execute(statement, params)
             return result, self.cost_model.work_for(result.profile)
 
-        result = yield from self.instance.run_on_cpu(job)
+        with self.sim.tracer.span("db.execute", category="server",
+                                  server=self.name,
+                                  queue=self.instance.queue_length):
+            result = yield from self.instance.run_on_cpu(job)
         self.queries_served += 1
         if statement.is_write:
             self.writes_served += 1

@@ -48,6 +48,8 @@ class SlaveServer(DatabaseServer):
         self._master: Optional["MasterServer"] = None
         self._network: Optional[Network] = None
         self._sql_thread_process = None
+        self._ship_spans: dict = {}
+        self._relay_spans: dict = {}
 
     def connect_to_master(self, master: "MasterServer",
                           network: Network) -> None:
@@ -66,6 +68,12 @@ class SlaveServer(DatabaseServer):
             self._sql_thread_process.interrupt("stopped")
         self._sql_thread_process = None
 
+    # -- observability ------------------------------------------------------
+    def note_shipped(self, position: int, span) -> None:
+        """Master's dump thread hands over the ``repl.ship`` span; the
+        IO thread ends it when the event arrives."""
+        self._ship_spans[position] = span
+
     # -- IO thread ----------------------------------------------------------
     def receive_event(self, event: BinlogEvent) -> None:
         """Delivery callback of the replication channel (IO thread).
@@ -73,10 +81,22 @@ class SlaveServer(DatabaseServer):
         Events from a server that is no longer this slave's master
         (in-flight deliveries racing a failover) are dropped.
         """
+        ship_span = self._ship_spans.pop(event.position, None)
         master = self._master
         if master is None or event.server_id != master.server_id:
+            if ship_span is not None:
+                ship_span.set_attribute("dropped", True)
+                ship_span.end()
             self.events_dropped += 1
             return
+        if ship_span is not None:
+            ship_span.end()
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            self._relay_spans[event.position] = tracer.open_span(
+                "repl.relay", category="replication",
+                track=f"repl:{self.name}", position=event.position,
+                backlog=len(self.relay_log))
         self.relay_log.put(event)
         self.received_position = event.position
         self.bytes_received += event.size_bytes
@@ -107,7 +127,17 @@ class SlaveServer(DatabaseServer):
                     return None, self.cost_model.apply_work_for(
                         result.profile)
 
-                yield from self.instance.run_on_cpu(apply_job)
+                relay_span = self._relay_spans.pop(event.position, None)
+                if relay_span is not None:
+                    relay_span.end()
+                tracer = self.sim.tracer
+                if tracer.enabled:
+                    with tracer.span("repl.apply", category="replication",
+                                     track=f"repl:{self.name}",
+                                     position=event.position):
+                        yield from self.instance.run_on_cpu(apply_job)
+                else:
+                    yield from self.instance.run_on_cpu(apply_job)
                 self.applied_position = event.position
                 self.events_applied += 1
         except Interrupt:

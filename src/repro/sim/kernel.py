@@ -22,6 +22,9 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import NULL_TRACER
+
 __all__ = [
     "Event",
     "Timeout",
@@ -59,7 +62,8 @@ class Event:
     yielding them.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_defused")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered",
+                 "_defused", "_owner")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -338,6 +342,13 @@ class Simulator:
         self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._active_process: Optional[Process] = None
+        #: Observability hooks (see :mod:`repro.obs`).  The defaults
+        #: are no-ops; the scheduling/step hot path pays only an
+        #: ``is not None`` guard for the profiler, and instrumentation
+        #: sites elsewhere pay a guard or a no-op call.
+        self.tracer = NULL_TRACER
+        self.metrics = NULL_METRICS
+        self.profiler = None
 
     @property
     def now(self) -> float:
@@ -370,17 +381,34 @@ class Simulator:
         return AllOf(self, events)
 
     # -- scheduling ------------------------------------------------------------
+    def _owner_name(self) -> str:
+        """Profiling attribution: the process scheduling right now."""
+        process = self._active_process
+        return process.name if process is not None else "<kernel>"
+
     def _schedule(self, event: Event, delay: float) -> None:
+        if self.profiler is not None:
+            event._owner = owner = self._owner_name()
+            self.profiler.on_schedule(owner)
         heapq.heappush(self._heap, (self._now + delay, next(self._counter), event))
 
     def _post(self, event: Event) -> None:
         """Schedule a just-triggered event's callbacks to run now."""
+        if self.profiler is not None:
+            event._owner = owner = self._owner_name()
+            self.profiler.on_schedule(owner)
         heapq.heappush(self._heap, (self._now, next(self._counter), event))
 
     # -- running ----------------------------------------------------------------
     def step(self) -> None:
         """Process the single next event; raises IndexError when empty."""
         when, _seq, event = heapq.heappop(self._heap)
+        if self.profiler is not None:
+            # Attribute the clock advance this event causes to the
+            # process that scheduled it; advances telescope, so the
+            # per-owner sums decompose the final simulated time.
+            self.profiler.on_execute(getattr(event, "_owner", "<kernel>"),
+                                     when - self._now)
         self._now = when
         if not event._triggered:
             # A scheduled Timeout reaching the head of the heap fires now.

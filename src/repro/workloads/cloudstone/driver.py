@@ -115,26 +115,32 @@ class LoadGenerator:
                 return
             operation = self.mix.pick(rng)
             statements = operation.build(self.state, rng)
-            connection = yield from self.pool.acquire()
-            started_at = self.sim.now
-            try:
-                server = self.proxy.master if operation.is_write \
-                    else self.proxy.pick_read_server(session=index)
-                for sql in statements:
-                    yield from self.proxy.execute(sql, server=server)
-                if operation.is_write:
-                    self.proxy.note_write(index)
-            except DatabaseError:
-                # A failed operation (server offline mid-failover,
-                # rejected statement) must not kill the emulated user:
-                # real Cloudstone drivers log the error and keep
-                # generating load.  The finally below still returns
-                # the connection, so pool.active drains back to zero.
-                self.errors += 1
-                continue
-            finally:
-                self.pool.release(connection)
-            latency = self.sim.now - started_at
+            with self.sim.tracer.span("driver.request",
+                                      category="driver",
+                                      op=operation.name,
+                                      user=index) as span:
+                connection = yield from self.pool.acquire()
+                started_at = self.sim.now
+                try:
+                    server = self.proxy.master if operation.is_write \
+                        else self.proxy.pick_read_server(session=index)
+                    for sql in statements:
+                        yield from self.proxy.execute(sql, server=server)
+                    if operation.is_write:
+                        self.proxy.note_write(index)
+                except DatabaseError:
+                    # A failed operation (server offline mid-failover,
+                    # rejected statement) must not kill the emulated
+                    # user: real Cloudstone drivers log the error and
+                    # keep generating load.  The finally below still
+                    # returns the connection, so pool.active drains
+                    # back to zero.
+                    span.set_attribute("error", True)
+                    self.errors += 1
+                    continue
+                finally:
+                    self.pool.release(connection)
+                latency = self.sim.now - started_at
             operation.on_complete(self.state)
             self._record(operation, latency)
 
@@ -146,6 +152,10 @@ class LoadGenerator:
         else:
             self.read_completions.record(now, latency)
         self.op_counts[operation.name] += 1
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            metrics.histogram("driver.latency_s").observe(latency)
+            metrics.counter(f"driver.ops.{operation.name}").inc()
 
     # -- measurements ------------------------------------------------------------
     @property

@@ -1,0 +1,134 @@
+"""OBS001: scoped spans must close on every path.
+
+Same fire/suppress/negative structure as the FLW rule tests — OBS001
+rides the identical CFG + dataflow core, with two twists: a
+receiver-position ``span.end()`` settles the claim, and
+``tracer.open_span()`` (cross-process ownership transfer) is exempt.
+"""
+
+from repro.analysis import lint_source
+
+
+def only(source, rule_id="OBS001"):
+    return [finding for finding in lint_source(source)
+            if finding.rule_id == rule_id]
+
+
+# ---------------------------------------------------------------- fires
+def test_fires_when_end_missing_on_exception_path():
+    findings = only(
+        "def handler(sim, tracer):\n"
+        "    span = tracer.span('work')\n"
+        "    yield sim.timeout(1.0)\n"
+        "    span.end()\n")
+    assert len(findings) == 1
+    assert findings[0].line == 2
+    assert "'span'" in findings[0].message
+    assert "ended" in findings[0].message
+
+
+def test_fires_when_end_only_on_one_branch():
+    assert len(only(
+        "def f(tracer, flag):\n"
+        "    span = tracer.span('work')\n"
+        "    if flag:\n"
+        "        span.end()\n")) == 1
+
+
+def test_fires_for_dotted_tracer_receiver():
+    assert len(only(
+        "def f(self):\n"
+        "    span = self.sim.tracer.span('work')\n"
+        "    return None\n")) == 1
+
+
+def test_fires_on_early_return_path():
+    assert len(only(
+        "def f(tracer, flag):\n"
+        "    span = tracer.span('work')\n"
+        "    if flag:\n"
+        "        return 0\n"
+        "    span.end()\n"
+        "    return 1\n")) == 1
+
+
+# ------------------------------------------------------------ suppressed
+def test_suppression_comment_respected():
+    assert only(
+        "def f(tracer):\n"
+        "    span = tracer.span('work')  # simlint: disable=OBS001\n"
+        "    return None\n") == []
+
+
+# -------------------------------------------------------------- negative
+def test_clean_with_context_manager():
+    assert only(
+        "def f(sim, tracer):\n"
+        "    with tracer.span('work'):\n"
+        "        yield sim.timeout(1.0)\n") == []
+
+
+def test_clean_with_end_in_finally():
+    assert only(
+        "def f(sim, tracer):\n"
+        "    span = tracer.span('work')\n"
+        "    try:\n"
+        "        yield sim.timeout(1.0)\n"
+        "    finally:\n"
+        "        span.end()\n") == []
+
+
+def test_clean_straight_line_end():
+    assert only(
+        "def f(tracer):\n"
+        "    span = tracer.span('work')\n"
+        "    span.end()\n"
+        "    return None\n") == []
+
+
+def test_open_span_is_exempt():
+    """Flow spans transfer ownership across processes by design."""
+    assert only(
+        "def dump(tracer, slave):\n"
+        "    span = tracer.open_span('repl.ship')\n"
+        "    slave.note_shipped(1, span)\n") == []
+
+
+def test_instant_is_exempt():
+    assert only(
+        "def f(tracer):\n"
+        "    marker = tracer.instant('tick')\n"
+        "    return marker.name\n") == []
+
+
+def test_handoff_call_transfers_ownership():
+    """Passing the span to another call settles the local obligation,
+    exactly like the FLW escape/transfer model."""
+    assert only(
+        "def f(tracer, slave):\n"
+        "    span = tracer.span('work')\n"
+        "    slave.adopt(span)\n") == []
+
+
+def test_return_transfers_ownership():
+    assert only(
+        "def f(tracer):\n"
+        "    span = tracer.span('work')\n"
+        "    return span\n") == []
+
+
+def test_non_tracer_span_method_not_matched():
+    """``span`` methods on non-tracer receivers are someone else's
+    business (e.g. numpy's ``ptp``-style APIs)."""
+    assert only(
+        "def f(layout):\n"
+        "    region = layout.span('header')\n"
+        "    return None\n") == []
+
+
+def test_null_tracer_constant_matches():
+    assert len(only(
+        "def f():\n"
+        "    from repro.obs import NULL_TRACER\n"
+        "    span = NULL_TRACER.span('work')\n"
+        "    return None\n")) == 1

@@ -47,6 +47,24 @@ def test_cell_zero_slaves(capsys):
     assert "n/a" in capsys.readouterr().out
 
 
+def test_trace_command(tmp_path, capsys):
+    """`repro trace` runs an observed cell and writes the artifacts."""
+    import json
+    out_dir = tmp_path / "traces"
+    assert main(["trace", "--slaves", "1", "--users", "5",
+                 "--out", str(out_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "spans recorded:" in out
+    assert "kernel profile" in out
+    doc = json.loads((out_dir / "trace.json").read_text())
+    names = {event.get("name") for event in doc["traceEvents"]}
+    assert {"driver.request", "repl.ship", "repl.apply"} <= names
+    assert doc["kernelProfile"]["rows"]
+    assert (out_dir / "spans.jsonl").exists()
+    assert (out_dir / "metrics.jsonl").exists()
+    assert (out_dir / "profile.txt").exists()
+
+
 def test_report_command(tmp_path, monkeypatch):
     """End-to-end report run against a micro profile."""
     from repro.experiments.figures import ScaleProfile, _PROFILES

@@ -16,11 +16,11 @@ from repro.workloads.cloudstone import Phases
 PHASES = Phases(ramp_up=15.0, steady=60.0, ramp_down=10.0)
 
 
-def run_once(seed: int):
+def run_once(seed: int, observe=None):
     config = PAPER_50_50(LocationConfig.DIFFERENT_ZONE, n_slaves=2,
                          n_users=25, phases=PHASES, seed=seed,
                          data_size=60, baseline_duration=20.0)
-    return run_experiment(config)
+    return run_experiment(config, observe=observe)
 
 
 def digest(result) -> bytes:
@@ -52,3 +52,30 @@ def test_different_seed_different_digest():
     # Sanity check that the digest actually captures the measurements
     # (a constant digest would make the test above vacuous).
     assert digest(run_once(seed=7)) != digest(run_once(seed=8))
+
+
+def run_observed(seed: int):
+    """One observed run: (measurement digest, trace-artifact sha256)."""
+    import hashlib
+
+    from repro.obs import Observability, chrome_trace, spans_jsonl
+
+    observe = Observability()
+    result = run_once(seed=seed, observe=observe)
+    blob = spans_jsonl(observe.tracer) + chrome_trace(
+        observe.tracer, profiler=observe.profiler,
+        metrics=observe.metrics)
+    return (digest(result),
+            hashlib.sha256(blob.encode("utf-8")).hexdigest())
+
+
+def test_same_seed_byte_identical_trace():
+    """The observability artifacts are part of the determinism
+    contract: same seed -> same spans, same metrics, same profile,
+    byte for byte — and recording them must not perturb the
+    measurements themselves."""
+    first_digest, first_trace = run_observed(seed=7)
+    second_digest, second_trace = run_observed(seed=7)
+    assert first_trace == second_trace
+    assert first_digest == second_digest
+    assert first_digest == digest(run_once(seed=7))

@@ -1,0 +1,101 @@
+"""Exporters: JSONL schema, Chrome trace-event shape, determinism."""
+
+import json
+
+from repro.obs import (KernelProfiler, MetricsRegistry, Tracer,
+                       chrome_trace, metrics_jsonl, spans_jsonl)
+from repro.sim import Simulator
+
+
+def traced_run():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    sim.tracer = tracer
+
+    def worker(sim):
+        with tracer.span("outer", category="test", n=1):
+            tracer.instant("marker", category="test")
+            with tracer.span("inner", category="test"):
+                yield sim.timeout(1.0)
+            yield sim.timeout(0.5)
+
+    sim.process(worker(sim), name="w")
+    sim.run()
+    return sim, tracer
+
+
+def test_spans_jsonl_one_record_per_span():
+    _, tracer = traced_run()
+    lines = spans_jsonl(tracer).strip().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert [r["name"] for r in records] == ["outer", "marker", "inner"]
+    outer, marker, inner = records
+    assert outer["dur"] == 1.5
+    assert inner["parent"] == outer["id"]
+    assert marker["instant"] is True
+    assert marker["dur"] == 0
+    assert outer["attrs"] == {"n": 1}
+    assert outer["track"] == "w"
+
+
+def test_jsonl_sorted_by_start_then_id():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    first = tracer.open_span("a")
+    second = tracer.open_span("b")
+    second.end()
+    first.end()
+    records = [json.loads(line)
+               for line in spans_jsonl(tracer).splitlines()]
+    # Same start: falls back to span id, not end order.
+    assert [r["name"] for r in records] == ["a", "b"]
+
+
+def test_empty_tracer_exports_empty_string():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    assert spans_jsonl(tracer) == ""
+    assert metrics_jsonl(MetricsRegistry()) == ""
+
+
+def test_chrome_trace_document_shape():
+    _, tracer = traced_run()
+    doc = json.loads(chrome_trace(tracer))
+    events = doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert {m["name"] for m in metadata} == \
+        {"process_name", "thread_name", "thread_sort_index"}
+    complete = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in complete} == {"outer", "inner"}
+    outer = next(e for e in complete if e["name"] == "outer")
+    assert outer["ts"] == 0.0
+    assert outer["dur"] == 1.5e6  # sim seconds -> microseconds
+    (instant,) = [e for e in events if e["ph"] == "i"]
+    assert instant["s"] == "t"
+    inner = next(e for e in complete if e["name"] == "inner")
+    assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+
+
+def test_chrome_trace_metadata_riders():
+    sim, tracer = traced_run()
+    profiler = KernelProfiler()
+    profiler.on_execute("w", 1.5)
+    registry = MetricsRegistry()
+    registry.counter("ops").inc(3)
+    doc = json.loads(chrome_trace(tracer, profiler=profiler,
+                                  metrics=registry))
+    assert doc["kernelProfile"]["total_sim_time"] == 1.5
+    assert doc["metrics"][0] == {"name": "ops", "kind": "counter",
+                                 "value": 3}
+    assert "droppedSpans" not in doc
+    tracer.close()
+    tracer.open_span("late").end()
+    assert json.loads(chrome_trace(tracer))["droppedSpans"] == 1
+
+
+def test_exports_byte_identical_across_runs():
+    _, first = traced_run()
+    _, second = traced_run()
+    assert spans_jsonl(first) == spans_jsonl(second)
+    assert chrome_trace(first) == chrome_trace(second)

@@ -1,0 +1,87 @@
+"""Kernel profiler: exact sim-time decomposition and grouping."""
+
+import pytest
+
+from repro.obs import KernelProfiler, render_profile
+from repro.sim import Simulator
+
+
+def observed_sim(n_workers=3):
+    sim = Simulator()
+    profiler = KernelProfiler()
+    sim.profiler = profiler
+
+    def worker(sim, period):
+        while True:
+            yield sim.timeout(period)
+
+    for index in range(n_workers):
+        sim.process(worker(sim, 1.0 + index), name=f"worker-{index}")
+    return sim, profiler
+
+
+def test_attributed_time_telescopes_to_sim_now():
+    sim, profiler = observed_sim()
+    sim.run(until=50.0)
+    # Clock advances telescope: per-owner sums decompose sim.now
+    # exactly (the trailing run(until=...) idle tail is not an event).
+    assert profiler.total_sim_time == pytest.approx(sim.now, abs=2.0)
+    assert profiler.total_sim_time <= sim.now + 1e-9
+
+
+def test_grouped_rows_collapse_numbered_processes():
+    sim, profiler = observed_sim(n_workers=5)
+    sim.run(until=20.0)
+    rows = profiler.rows(grouped=True)
+    (worker_row,) = [row for row in rows if row["owner"] == "worker-*"]
+    assert worker_row["processes"] == 5
+    ungrouped = profiler.rows(grouped=False)
+    assert sum(1 for row in ungrouped
+               if row["owner"].startswith("worker-")) == 5
+
+
+def test_rows_sorted_by_sim_time_desc():
+    profiler = KernelProfiler()
+    profiler.on_execute("fast", 1.0)
+    profiler.on_execute("slow", 10.0)
+    profiler.on_execute("idle", 0.0)
+    owners = [row["owner"] for row in profiler.rows()]
+    assert owners == ["slow", "fast", "idle"]
+
+
+def test_schedule_counts_include_unexecuted_events():
+    profiler = KernelProfiler()
+    profiler.on_schedule("p")
+    profiler.on_schedule("p")
+    profiler.on_execute("p", 0.5)
+    (row,) = profiler.rows()
+    assert row["scheduled"] == 2
+    assert row["executed"] == 1
+    assert row["sim_time"] == 0.5
+
+
+def test_main_context_attributed_to_kernel():
+    sim = Simulator()
+    sim.profiler = KernelProfiler()
+    sim.timeout(5.0)  # scheduled from setup code, not a process
+    sim.run()
+    rows = {row["owner"]: row for row in sim.profiler.rows()}
+    assert "<kernel>" in rows
+    assert rows["<kernel>"]["sim_time"] == pytest.approx(5.0)
+
+
+def test_render_profile_table():
+    sim, profiler = observed_sim()
+    sim.run(until=10.0)
+    text = render_profile(profiler)
+    assert "kernel profile" in text
+    assert "worker-*" in text
+    assert text.strip().splitlines()[-1].startswith("total")
+
+
+def test_snapshot_shape():
+    sim, profiler = observed_sim()
+    sim.run(until=5.0)
+    snapshot = profiler.snapshot()
+    assert set(snapshot) == {"total_events", "total_sim_time", "rows"}
+    assert snapshot["total_events"] == profiler.total_events

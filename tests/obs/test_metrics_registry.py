@@ -1,0 +1,78 @@
+"""Metrics registry unit tests: instruments, snapshots, null twin."""
+
+import pytest
+
+from repro.obs import NULL_METRICS, MetricsRegistry
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+
+def test_counter_get_or_create_and_inc():
+    registry = MetricsRegistry()
+    registry.counter("ops").inc()
+    registry.counter("ops").inc(2.0)
+    assert registry.counter("ops").value == 3.0
+    assert len(registry) == 1
+    assert "ops" in registry
+
+
+def test_counter_rejects_negative_increment():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("ops").inc(-1.0)
+
+
+def test_gauge_keeps_timestamped_history():
+    clock = {"now": 0.0}
+    registry = MetricsRegistry(now_fn=lambda: clock["now"])
+    gauge = registry.gauge("backlog")
+    assert gauge.value == 0.0
+    gauge.set(4)
+    clock["now"] = 10.0
+    gauge.set(7)
+    assert gauge.value == 7.0
+    assert list(gauge.series.times) == [0.0, 10.0]
+    assert list(gauge.series.values) == [4.0, 7.0]
+
+
+def test_histogram_buckets_and_overflow():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 0.5, 100.0):
+        histogram.observe(value)
+    assert histogram.counts == [1, 2, 1]
+    assert histogram.count == 4
+    assert histogram.mean == pytest.approx((0.05 + 0.5 + 0.5 + 100.0) / 4)
+
+
+def test_histogram_requires_sorted_buckets():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.histogram("bad", buckets=(1.0, 0.1))
+
+
+def test_kind_conflict_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+
+
+def test_snapshot_sorted_by_name():
+    registry = MetricsRegistry()
+    registry.counter("zeta").inc()
+    registry.gauge("alpha").set(1.0)
+    registry.histogram("mid").observe(0.2)
+    names = [entry["name"] for entry in registry.snapshot()]
+    assert names == ["alpha", "mid", "zeta"]
+    kinds = [entry["kind"] for entry in registry.snapshot()]
+    assert kinds == ["gauge", "histogram", "counter"]
+
+
+def test_null_metrics_is_inert():
+    assert not NULL_METRICS.enabled
+    NULL_METRICS.counter("a").inc()
+    NULL_METRICS.gauge("b").set(3.0)
+    NULL_METRICS.histogram("c", buckets=DEFAULT_BUCKETS).observe(1.0)
+    assert len(NULL_METRICS) == 0
+    assert "a" not in NULL_METRICS
+    assert NULL_METRICS.snapshot() == []

@@ -1,0 +1,163 @@
+"""Tracer unit tests: span trees, per-process context, null tracer."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer
+from repro.obs.tracer import ROOT
+from repro.sim import Simulator
+
+
+def test_span_records_sim_time_interval():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    sim.tracer = tracer
+
+    def process(sim):
+        with tracer.span("work", category="test"):
+            yield sim.timeout(2.5)
+
+    sim.process(process(sim))
+    sim.run()
+    (span,) = tracer.spans
+    assert span.name == "work"
+    assert span.start == pytest.approx(0.0)
+    assert span.end_time == pytest.approx(2.5)
+    assert span.duration == pytest.approx(2.5)
+
+
+def test_nested_spans_parent_link():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def process(sim):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                yield sim.timeout(1.0)
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id == ROOT
+
+    sim.process(process(sim))
+    sim.run()
+    assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+
+def test_context_is_per_process():
+    """Two interleaved processes must not adopt each other's spans."""
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def worker(sim, delay):
+        with tracer.span("job", delay=delay):
+            yield sim.timeout(delay)
+
+    sim.process(worker(sim, 1.0), name="worker-a")
+    sim.process(worker(sim, 2.0), name="worker-b")
+    sim.run()
+    # Neither nested under the other despite interleaved execution.
+    assert len(tracer.spans) == 2
+    assert all(span.parent_id == ROOT for span in tracer.spans)
+    assert len({span.track for span in tracer.spans}) == 2
+
+
+def test_track_defaults_to_process_name():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def worker(sim):
+        with tracer.span("job"):
+            yield sim.timeout(1.0)
+
+    sim.process(worker(sim), name="my-worker")
+    sim.run()
+    assert tracer.spans[0].track == "my-worker"
+
+
+def test_explicit_end_and_idempotence():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    span = tracer.span("setup")
+    span.end()
+    span.end()  # second end is a no-op
+    assert len(tracer.spans) == 1
+    assert tracer.open_scoped_spans == 0
+
+
+def test_open_span_crosses_processes():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    box = {}
+
+    def sender(sim):
+        box["span"] = tracer.open_span("flight", track="net")
+        yield sim.timeout(3.0)
+
+    def receiver(sim):
+        yield sim.timeout(1.5)
+        box["span"].end()
+
+    sim.process(sender(sim))
+    sim.process(receiver(sim))
+    sim.run()
+    (span,) = tracer.spans
+    assert span.track == "net"
+    assert span.duration == pytest.approx(1.5)
+
+
+def test_instant_has_zero_duration():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    marker = tracer.instant("tick", position=3)
+    assert marker.instant
+    assert marker.duration == 0.0
+    assert marker.attributes == {"position": 3}
+
+
+def test_exception_marks_error_attribute():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    with pytest.raises(RuntimeError):
+        with tracer.span("doomed"):
+            raise RuntimeError("boom")
+    (span,) = tracer.spans
+    assert span.attributes["error"] == "RuntimeError"
+
+
+def test_close_drops_late_ends():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    late = tracer.open_span("late")
+    tracer.close()
+    late.end()
+    assert tracer.spans == []
+    assert tracer.dropped == 1
+
+
+def test_current_span_tracks_innermost():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    assert tracer.current_span() is None
+    with tracer.span("outer") as outer:
+        assert tracer.current_span() is outer
+        with tracer.span("inner") as inner:
+            assert tracer.current_span() is inner
+        assert tracer.current_span() is outer
+    assert tracer.current_span() is None
+
+
+def test_null_tracer_is_inert():
+    assert not NULL_TRACER.enabled
+    span = NULL_TRACER.span("anything", key="value")
+    span.end()
+    with NULL_TRACER.span("scoped") as scoped:
+        scoped.set_attribute("more", 1)
+    assert NULL_TRACER.span("x") is NULL_TRACER.open_span("y")
+    assert NULL_TRACER.instant("z") is span
+    assert NULL_TRACER.current_span() is None
+    assert NULL_TRACER.spans == ()
+
+
+def test_simulator_defaults_to_null_observability():
+    sim = Simulator()
+    assert sim.tracer is NULL_TRACER
+    assert not sim.metrics.enabled
+    assert sim.profiler is None

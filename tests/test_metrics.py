@@ -93,6 +93,70 @@ def test_timeseries_rate():
     assert series.rate_in(5.0, 5.0) == 0.0
 
 
+def test_timeseries_empty():
+    series = TimeSeries()
+    assert series.window(0.0, 10.0) == []
+    assert series.count_in(0.0, 10.0) == 0
+    assert series.rate_in(0.0, 10.0) == 0.0
+
+
+def test_timeseries_degenerate_and_inverted_windows():
+    series = TimeSeries()
+    series.record(1.0, 10.0)
+    series.record(2.0, 20.0)
+    assert series.window(1.0, 1.0) == []        # start == end
+    assert series.count_in(1.0, 1.0) == 0
+    assert series.window(2.0, 1.0) == []        # inverted
+    assert series.count_in(2.0, 1.0) == 0
+
+
+def test_timeseries_window_out_of_range():
+    series = TimeSeries()
+    for t in (1.0, 2.0, 3.0):
+        series.record(t, t)
+    assert series.window(-10.0, 0.0) == []      # entirely before
+    assert series.window(4.0, 10.0) == []       # entirely after
+    assert series.window(-10.0, 10.0) == [1.0, 2.0, 3.0]
+    assert series.count_in(3.0, 100.0) == 1     # start inclusive
+    assert series.window(0.0, 3.0) == [1.0, 2.0]  # end exclusive
+
+
+def test_timeseries_duplicate_times_all_counted():
+    series = TimeSeries()
+    for value in (1.0, 2.0, 3.0):
+        series.record(5.0, value)
+    assert series.window(5.0, 5.1) == [1.0, 2.0, 3.0]
+    assert series.count_in(0.0, 5.0) == 0
+    assert series.count_in(5.0, 6.0) == 3
+
+
+def test_timeseries_rejects_time_going_backwards():
+    series = TimeSeries()
+    series.record(2.0, 1.0)
+    series.record(2.0, 2.0)  # equal timestamps are fine
+    with pytest.raises(ValueError):
+        series.record(1.0, 3.0)
+
+
+@given(times=st.lists(st.floats(min_value=0.0, max_value=1e3,
+                                allow_nan=False), min_size=0,
+                      max_size=60),
+       start=st.floats(min_value=-10.0, max_value=1100.0,
+                       allow_nan=False),
+       span=st.floats(min_value=0.0, max_value=500.0, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_timeseries_bisect_matches_linear_scan(times, start, span):
+    """The bisect fast path must agree with the definitional filter."""
+    series = TimeSeries()
+    for index, t in enumerate(sorted(times)):
+        series.record(t, float(index))
+    end = start + span
+    expected = [v for t, v in zip(series.times, series.values)
+                if start <= t < end]
+    assert series.window(start, end) == expected
+    assert series.count_in(start, end) == len(expected)
+
+
 # ------------------------------------------------------ CpuUtilizationProbe
 def test_cpu_probe():
     sim = Simulator()
