@@ -1,5 +1,5 @@
-"""Rule implementations, grouped by family (DET / SIM / SQL)."""
+"""Rule implementations, grouped by family (DET / SIM / SQL / OBS)."""
 
-from . import determinism, simsafety, sqlcheck
+from . import determinism, obsnames, simsafety, sqlcheck
 
-__all__ = ["determinism", "simsafety", "sqlcheck"]
+__all__ = ["determinism", "obsnames", "simsafety", "sqlcheck"]

@@ -1,0 +1,96 @@
+"""OBS rules: observability call sites must stay greppable.
+
+The analysis plane (``repro.obs.analyze``) joins spans and metrics *by
+name* — ``repl.ship`` spans to ``repl.relay`` spans, gauge
+``slave.<name>.relative_delay_ms`` to the waterfall population.  A
+metric or span whose name is computed from opaque runtime values can
+never be joined (or grepped) reliably, so every name argument must
+carry at least one literal fragment: a string constant, a literal
+concatenation, an f-string with a constant part (``f"{prefix}.cpu"``
+is fine — the ``.cpu`` tail is greppable), or a module-level string
+constant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from ..visitor import LintContext, Rule, qualified_name
+
+__all__ = ["MetricNameLiteralRule", "RULES"]
+
+#: method name -> receiver tails it applies to (lower-cased substring
+#: match on the last segment of the receiver chain).
+_METRIC_METHODS = ("counter", "gauge", "histogram")
+_SPAN_METHODS = ("span", "open_span", "instant")
+
+
+def _has_literal_fragment(node: ast.AST,
+                          constants: dict[str, str]) -> bool:
+    """True when the expression contains at least one compile-time
+    string fragment an analyst could grep for."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, str)
+    if isinstance(node, ast.JoinedStr):
+        return any(isinstance(part, ast.Constant)
+                   and isinstance(part.value, str) and part.value
+                   for part in node.values)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return _has_literal_fragment(node.left, constants) or \
+            _has_literal_fragment(node.right, constants)
+    if isinstance(node, ast.Name):
+        return node.id in constants
+    return False
+
+
+def _name_argument(call: ast.Call) -> Optional[ast.AST]:
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "name":
+            return keyword.value
+    return None
+
+
+class MetricNameLiteralRule(Rule):
+    """OBS002: metric/span names must contain a literal fragment."""
+
+    rule_id = "OBS002"
+    description = "metric or span name built entirely from runtime " \
+                  "values"
+    hint = "anchor the name with a literal part (constant, " \
+           "f\"{prefix}.suffix\", or a module-level NAME constant) " \
+           "so traces stay greppable and joinable"
+
+    def check(self, context: LintContext) -> None:
+        for node in ast.walk(context.tree):
+            if not (isinstance(node, ast.Call) and
+                    isinstance(node.func, ast.Attribute)):
+                continue
+            method = node.func.attr
+            receiver = qualified_name(node.func.value)
+            if receiver is None:
+                continue
+            tail = receiver.rsplit(".", 1)[-1].lower()
+            if method in _METRIC_METHODS:
+                if "metrics" not in tail and "registry" not in tail:
+                    continue
+            elif method in _SPAN_METHODS:
+                if not tail.endswith("tracer"):
+                    continue
+            else:
+                continue
+            name = _name_argument(node)
+            if name is None:
+                continue
+            if not _has_literal_fragment(name,
+                                         context.module_constants):
+                self.report(
+                    context, name,
+                    f"{receiver}.{method}() name has no literal "
+                    f"fragment — it cannot be grepped or joined "
+                    f"against")
+
+
+RULES = (MetricNameLiteralRule,)

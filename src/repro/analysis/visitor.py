@@ -74,11 +74,12 @@ class Rule:
 
 
 def all_rules() -> list[Rule]:
-    """One instance of every known rule, DET/SIM/SQL then FLW."""
+    """One instance of every known rule, DET/SIM/SQL/OBS then FLW."""
     from .flow import rules as flowrules
-    from .rules import determinism, simsafety, sqlcheck
+    from .rules import determinism, obsnames, simsafety, sqlcheck
     rules: list[Rule] = []
-    for module in (determinism, simsafety, sqlcheck, flowrules):
+    for module in (determinism, simsafety, sqlcheck, obsnames,
+                   flowrules):
         rules.extend(cls() for cls in module.RULES)
     return rules
 

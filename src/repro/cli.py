@@ -130,7 +130,23 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--monitor-period", type=float, default=5.0,
                        help="cluster-monitor sampling period (sim "
                             "seconds)")
+    trace.add_argument("--format", choices=("text", "json"),
+                       default="text",
+                       help="json prints one machine-readable document "
+                            "(cell, results, artifact paths, profile)")
     trace.set_defaults(handler=_run_trace)
+
+    analyze = sub.add_parser(
+        "analyze", help="diagnose trace artifacts: staleness "
+                        "waterfalls, heartbeat reconciliation and the "
+                        "bottleneck verdict")
+    analyze.add_argument("--dir", default="traces",
+                         help="directory holding spans.jsonl / "
+                              "metrics.jsonl / trace.json from "
+                              "'repro trace'")
+    analyze.add_argument("--format", choices=("text", "json"),
+                         default="text")
+    analyze.set_defaults(handler=_run_analyze)
 
     lint = sub.add_parser(
         "lint", help="simlint: determinism / sim-safety / SQL / "
@@ -247,6 +263,8 @@ def _run_cell(args) -> str:
 
 
 def _run_trace(args) -> str:
+    import json
+
     from .obs import Observability
     profile = _PROFILES[args.scale]
     factory = PAPER_50_50 if args.ratio == "50/50" else PAPER_80_20
@@ -256,6 +274,27 @@ def _run_trace(args) -> str:
     observe = Observability(monitor_period=args.monitor_period)
     result = run_experiment(config, observe=observe)
     paths = observe.write_artifacts(args.out)
+    if args.format == "json":
+        document = {
+            "cell": {"location": args.location.value,
+                     "ratio": args.ratio, "slaves": args.slaves,
+                     "users": args.users, "scale": args.scale,
+                     "seed": args.seed},
+            "result": {
+                "throughput": result.throughput,
+                "mean_latency_s": result.mean_latency_s,
+                "relative_delay_ms": result.relative_delay_ms,
+                "master_cpu": result.master_cpu,
+                "slave_cpus": result.slave_cpus,
+                "bottleneck": result.bottleneck,
+            },
+            "artifacts": {name: paths[name] for name in sorted(paths)},
+            "spans": len(observe.tracer.spans),
+            "droppedSpans": observe.tracer.dropped,
+            "profile": observe.profiler.snapshot(),
+        }
+        return json.dumps(document, sort_keys=True,
+                          separators=(",", ":"))
     delay = (f"{result.relative_delay_ms:.1f} ms"
              if result.relative_delay_ms is not None else "n/a")
     lines = [
@@ -269,6 +308,20 @@ def _run_trace(args) -> str:
     lines.append("")
     lines.append(observe.render_profile())
     return "\n".join(lines)
+
+
+def _run_analyze(args):
+    from .obs.analyze import (AnalysisError, analyze_trace,
+                              load_artifacts, render_analysis_json,
+                              render_analysis_text)
+    try:
+        data = load_artifacts(args.dir)
+        report = analyze_trace(data)
+    except (AnalysisError, OSError) as error:
+        return f"repro analyze: error: {error}", 1
+    if args.format == "json":
+        return render_analysis_json(report)
+    return render_analysis_text(report)
 
 
 def _split_rule_lists(values: Optional[Sequence[str]]) -> list[str]:

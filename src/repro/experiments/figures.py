@@ -31,6 +31,7 @@ from ..cloud.network import Network, PAPER_LATENCY
 from ..cloud.ntp import NtpDaemon
 from ..cloud.regions import MASTER_PLACEMENT
 from ..metrics import summarize
+from ..obs.analyze import detect_knee
 from ..sim import RandomStreams, Simulator
 from ..workloads.cloudstone import Phases
 from .config import LocationConfig, PAPER_50_50, PAPER_80_20
@@ -147,14 +148,23 @@ def _render_metric_table(grids, title, cell) -> str:
 
 def render_saturation_schedule(grids: list[SweepResult]) -> str:
     """The §IV-A narrative: per slave count, the observed maximum
-    throughput, the saturation point, and which tier saturated there."""
-    lines = ["slaves  max-tput@users  saturation-point  saturated"]
+    throughput, the saturation point, the fitted knee (linear limit +
+    capacity intersection, see :mod:`repro.obs.analyze.knee`), and
+    which tier saturated there."""
+    lines = ["slaves  max-tput@users  saturation-point  linear-limit  "
+             "knee-users  saturated  bottleneck"]
     for sweep in grids:
         best_users, best_tput = max_throughput(sweep)
-        knee = saturation_point(sweep)
+        saturation = saturation_point(sweep)
         best = max(sweep.results, key=lambda r: r.throughput)
+        knee = detect_knee(sweep.users, sweep.throughputs)
+        knee_text = (f"{knee.knee_users:10.1f}" if knee.knee_users
+                     is not None else "       n/a")
         lines.append(f"{sweep.n_slaves:6d}  {best_tput:8.1f}@{best_users:<5d}"
-                     f"  {str(knee):>16s}  {best.saturated_resource:>9s}")
+                     f"  {str(saturation):>16s}  "
+                     f"{knee.linear_limit_users:12d}  {knee_text}  "
+                     f"{best.saturated_resource:>9s}  "
+                     f"{best.bottleneck:>10s}")
     return "\n".join(lines)
 
 

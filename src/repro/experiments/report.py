@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..metrics import summarize
+from ..obs.analyze import detect_knee
 from .sweeps import SweepResult, max_throughput, saturation_point
 
 __all__ = ["MarkdownReport", "grid_section", "fig4_section",
@@ -66,18 +67,26 @@ def grid_section(report: MarkdownReport, grids: list[SweepResult],
 
     saturation_rows = []
     for sweep in grids:
-        knee_users, knee_tput = max_throughput(sweep)
-        knee = saturation_point(sweep)
+        best_users, best_tput = max_throughput(sweep)
+        saturation = saturation_point(sweep)
+        knee = detect_knee(sweep.users, sweep.throughputs)
         heaviest = sweep.results[-1]
         saturation_rows.append([
             str(sweep.n_slaves),
-            f"{knee_tput:.1f} @ {knee_users}",
-            str(knee) if knee is not None else "still rising",
+            f"{best_tput:.1f} @ {best_users}",
+            str(saturation) if saturation is not None
+            else "still rising",
+            str(knee.linear_limit_users),
+            f"{knee.knee_users:.1f}" if knee.knee_users is not None
+            else "n/a",
             heaviest.saturated_resource,
+            heaviest.bottleneck,
         ])
     report.add_paragraph("**Saturation**")
     report.add_table(["slaves", "max tput @ users", "saturation point",
-                      "saturated resource"], saturation_rows)
+                      "linear limit", "knee (users)",
+                      "saturated resource", "bottleneck"],
+                     saturation_rows)
 
 
 def _delay_cell(result) -> str:

@@ -25,6 +25,7 @@ from ..replication.heartbeat import (HeartbeatPlugin,
                                      average_relative_delay_ms,
                                      collect_delays)
 from ..obs import Observability
+from ..obs.analyze import CellSignals, attribute_bottleneck
 from ..replication.manager import ReplicationManager
 from ..replication.monitor import ClusterMonitor
 from ..replication.pool import ConnectionPool
@@ -50,6 +51,17 @@ class ExperimentResult:
     heartbeat_counts: list[int] = field(default_factory=list)
     #: Steady-stage operation-latency percentiles, seconds.
     latency_percentiles_s: dict = field(default_factory=dict)
+    #: Bottleneck attribution for the cell (resource + evidence), from
+    #: :func:`repro.obs.analyze.attribute_bottleneck` — None only for
+    #: hand-built results (tests, fixtures).
+    diagnosis: Optional[dict] = None
+
+    @property
+    def bottleneck(self) -> str:
+        """The attributed resource (``none`` when undiagnosed)."""
+        if self.diagnosis is None:
+            return "none"
+        return self.diagnosis["resource"]
 
     @property
     def max_slave_cpu(self) -> float:
@@ -129,19 +141,28 @@ def run_experiment(config: ExperimentConfig,
     instances = [master.instance] + [s.instance for s in manager.slaves]
     busy_at_start: dict[str, float] = {}
     busy_at_end: dict[str, float] = {}
+    backlog_at_start: dict[str, int] = {}
+    backlog_at_end: dict[str, int] = {}
 
     def cpu_probe(sim):
         yield sim.timeout(steady_start - sim.now)
         for instance in instances:
             busy_at_start[instance.name] = instance.busy_time
+        for slave in manager.slaves:
+            backlog_at_start[slave.name] = slave.relay_backlog
         yield sim.timeout(steady_end - sim.now)
         for instance in instances:
             busy_at_end[instance.name] = instance.busy_time
+        for slave in manager.slaves:
+            backlog_at_end[slave.name] = slave.relay_backlog
 
     sim.process(cpu_probe(sim))
     with sim.tracer.span("phase.workload", category="experiment",
                          track="experiment", users=config.n_users,
-                         slaves=config.n_slaves):
+                         slaves=config.n_slaves,
+                         workload_start=workload_start,
+                         steady_start=steady_start,
+                         steady_end=steady_end):
         sim.run(until=workload_start + config.phases.total)
     heartbeat.stop()
     if monitor is not None:
@@ -164,14 +185,37 @@ def run_experiment(config: ExperimentConfig,
                                 window_end=steady_end)
         heartbeat_counts.append(len(loaded))
         if baseline and loaded:
-            per_slave_delay.append(
-                average_relative_delay_ms(loaded, baseline))
+            delay_ms = average_relative_delay_ms(loaded, baseline)
         elif baseline:
             # Every steady-stage heartbeat is still unapplied: the
             # delay is at least the whole steady stage.
-            per_slave_delay.append(window * 1000.0)
+            delay_ms = window * 1000.0
+        else:
+            continue
+        per_slave_delay.append(delay_ms)
+        if sim.metrics.enabled:
+            sim.metrics.gauge(
+                f"slave.{slave.name}.relative_delay_ms").set(delay_ms)
     relative_delay = (sum(per_slave_delay) / len(per_slave_delay)
                       if per_slave_delay else None)
+
+    # Cell-level bottleneck attribution from the endpoint measurements
+    # (ship share needs a recorded trace, so it is 0 here — network
+    # verdicts come from ``repro analyze`` over the artifacts).
+    backlog_slopes = {
+        name: (backlog_at_end[name] - backlog_at_start[name]) / window
+        for name in backlog_at_start}
+    signals = CellSignals(
+        master_util=utilizations[master.instance.name],
+        slave_utils={s.name: utilizations[s.instance.name]
+                     for s in manager.slaves},
+        backlog_slopes=backlog_slopes,
+        pool_wait_share=min(
+            pool.mean_wait_time
+            / max(generator.steady_mean_latency(), 1e-9), 1.0),
+        ship_share=0.0,
+        window=(steady_start, steady_end))
+    diagnosis = attribute_bottleneck(signals)
 
     if sim.metrics.enabled:
         sim.metrics.gauge("result.throughput").set(
@@ -196,4 +240,5 @@ def run_experiment(config: ExperimentConfig,
         per_slave_delay_ms=per_slave_delay,
         heartbeat_counts=heartbeat_counts,
         latency_percentiles_s=generator.steady_latency_percentiles(),
+        diagnosis=diagnosis.as_dict(),
     )

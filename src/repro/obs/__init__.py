@@ -17,12 +17,17 @@ what a fresh :class:`~repro.sim.Simulator` carries) and fully
 deterministic when enabled — timestamps are simulated seconds, so the
 exported artifacts are byte-identical across same-seed runs.
 
+The :mod:`repro.obs.analyze` subpackage is the analysis plane over
+these artifacts (staleness waterfalls, bottleneck attribution, knee
+detection) — import it explicitly; it is not re-exported here so the
+kernel's import of the null singletons stays lean.
+
 This package must not import :mod:`repro.sim` (the kernel imports the
 null singletons from here).
 """
 
 from .export import (chrome_trace, metrics_jsonl, span_record,
-                     sorted_spans, spans_jsonl)
+                     sorted_spans, spans_jsonl, trace_meta)
 from .kernelprof import KernelProfiler, render_profile
 from .metrics import (Counter, DEFAULT_BUCKETS, Gauge, Histogram,
                       MetricsRegistry, NullMetrics, NULL_METRICS)
@@ -36,5 +41,5 @@ __all__ = [
     "KernelProfiler", "render_profile",
     "Observability",
     "chrome_trace", "spans_jsonl", "metrics_jsonl", "span_record",
-    "sorted_spans",
+    "sorted_spans", "trace_meta",
 ]

@@ -1,0 +1,53 @@
+"""Trace analysis: staleness waterfalls, bottleneck attribution, knees.
+
+The analysis plane over PR 3's artifacts (see ISSUE 4): everything the
+paper diagnoses by eyeballing its figures, computed —
+
+* :mod:`.waterfall` — per-event staleness decomposition
+  (binlog-wait / ship / relay-wait / apply) with per-cell aggregates
+  and reconciliation against the heartbeat estimator;
+* :mod:`.bottleneck` — the saturated resource per cell
+  (``master-cpu`` / ``slave-cpu`` / ``pool`` / ``network`` / ``none``)
+  with its evidence;
+* :mod:`.knee` — throughput-curve saturation points (Fig. 2/3 knees
+  as numbers);
+* :mod:`.loader` / :mod:`.render` — artifact parsing, health gating
+  and the ``python -m repro analyze`` report.
+
+No imports of ``repro.sim`` or ``repro.experiments`` anywhere in the
+package: the kernel imports ``repro.obs``, and analysis must work from
+artifacts on disk alone.
+"""
+
+from .bottleneck import (BACKLOG_SLOPE_THRESHOLD, CellSignals,
+                         CPU_SATURATION_THRESHOLD, Diagnosis,
+                         POOL_WAIT_SHARE_THRESHOLD,
+                         SHIP_SHARE_THRESHOLD, attribute_bottleneck,
+                         signals_from_trace)
+from .knee import Knee, LINEAR_TOLERANCE, detect_knee
+from .loader import (AnalysisError, RESIDUE_TOLERANCE_S, TraceData,
+                     from_session, health_errors, load_artifacts)
+from .render import (analyze_trace, render_analysis_json,
+                     render_analysis_text)
+from .waterfall import (EventWaterfall, HeartbeatReconciliation,
+                        PhaseWindows, RECONCILE_ABS_TOLERANCE_MS,
+                        RECONCILE_REL_TOLERANCE, STAGES, StageStats,
+                        aggregate_stages, build_waterfalls,
+                        phase_windows, reconcile_heartbeats,
+                        telescoping_error, trimmed_mean_of)
+
+__all__ = [
+    "AnalysisError", "TraceData", "load_artifacts", "from_session",
+    "health_errors", "RESIDUE_TOLERANCE_S",
+    "EventWaterfall", "StageStats", "PhaseWindows", "STAGES",
+    "build_waterfalls", "aggregate_stages", "phase_windows",
+    "telescoping_error", "reconcile_heartbeats",
+    "HeartbeatReconciliation", "trimmed_mean_of",
+    "RECONCILE_ABS_TOLERANCE_MS", "RECONCILE_REL_TOLERANCE",
+    "CellSignals", "Diagnosis", "attribute_bottleneck",
+    "signals_from_trace", "CPU_SATURATION_THRESHOLD",
+    "BACKLOG_SLOPE_THRESHOLD", "POOL_WAIT_SHARE_THRESHOLD",
+    "SHIP_SHARE_THRESHOLD",
+    "Knee", "detect_knee", "LINEAR_TOLERANCE",
+    "analyze_trace", "render_analysis_text", "render_analysis_json",
+]

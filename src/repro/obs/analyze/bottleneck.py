@@ -1,0 +1,192 @@
+"""Bottleneck attribution: name the saturated resource, with evidence.
+
+The paper's saturation narrative (§IV-A) is a sequence of hand-read
+diagnoses — "with one slave the slave CPU saturates first; from the
+third slave the master's write path is the wall".  This module computes
+that verdict per cell from the joined signals:
+
+* **CPU utilizations** over the steady window (monitor gauges, or the
+  runner's endpoint probes) against the same 0.90 threshold the
+  pressure detector uses;
+* **relay-backlog growth slope** (events/s, least squares over the
+  steady window) — a positive slope is the queue-theoretic signature
+  of an overloaded apply thread;
+* **pool-wait share** — fraction of client latency spent waiting for a
+  pooled connection (an undersized pool starves the driver before any
+  server saturates);
+* **ship share** — fraction of mean staleness spent on the wire, from
+  the stage waterfalls (a remote slave can be delay-bound on the
+  network with every CPU idle).
+
+Priority order mirrors the paper's causality: a saturated master
+explains everything downstream, so it wins; then slave CPU, then the
+client-side pool, then the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from .loader import TraceData
+from .waterfall import EventWaterfall, PhaseWindows
+
+__all__ = ["CellSignals", "Diagnosis", "attribute_bottleneck",
+           "signals_from_trace", "CPU_SATURATION_THRESHOLD",
+           "BACKLOG_SLOPE_THRESHOLD", "POOL_WAIT_SHARE_THRESHOLD",
+           "SHIP_SHARE_THRESHOLD"]
+
+#: Same knee the monitor's pressure detector uses.
+CPU_SATURATION_THRESHOLD = 0.90
+#: Relay log growing faster than this (events/s) over the whole steady
+#: window is divergence, not jitter.
+BACKLOG_SLOPE_THRESHOLD = 0.5
+#: Pool is the bottleneck when waiting for a connection is at least
+#: this share of client latency.
+POOL_WAIT_SHARE_THRESHOLD = 0.25
+#: Network is the bottleneck when the wire is at least this share of
+#: staleness (and nothing upstream saturated).
+SHIP_SHARE_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class CellSignals:
+    """Everything the attributor looks at, already reduced to numbers.
+
+    Built either from live endpoint measurements (the runner) or from
+    recorded artifacts (:func:`signals_from_trace`).
+    """
+
+    master_util: float
+    slave_utils: Mapping[str, float] = field(default_factory=dict)
+    backlog_slopes: Mapping[str, float] = field(default_factory=dict)
+    pool_wait_share: float = 0.0
+    ship_share: float = 0.0
+    window: tuple[float, float] = (0.0, 0.0)
+
+    @property
+    def worst_slave(self) -> Optional[str]:
+        if not self.slave_utils:
+            return None
+        return max(sorted(self.slave_utils), key=self.slave_utils.get)
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """The verdict plus the numbers that produced it."""
+
+    resource: str       # master-cpu | slave-cpu | pool | network | none
+    evidence: dict
+
+    def as_dict(self) -> dict:
+        return {"resource": self.resource, "evidence": self.evidence}
+
+    def render(self) -> str:
+        details = ", ".join(f"{key}={value}"
+                            for key, value in sorted(
+                                self.evidence.items()))
+        return f"{self.resource} ({details})"
+
+
+def _round(value: float) -> float:
+    """Evidence is for reading; 4 decimals keeps it deterministic and
+    diff-friendly without implying micro-precision."""
+    return round(value, 4)
+
+
+def attribute_bottleneck(signals: CellSignals) -> Diagnosis:
+    """Name the saturated resource for one cell."""
+    window = [_round(edge) for edge in signals.window]
+    evidence: dict = {"master_util": _round(signals.master_util),
+                      "utilization_window": window}
+    worst = signals.worst_slave
+    if worst is not None:
+        evidence["worst_slave"] = worst
+        evidence["worst_slave_util"] = _round(
+            signals.slave_utils[worst])
+    growing = {name: _round(slope)
+               for name, slope in sorted(signals.backlog_slopes.items())
+               if slope > BACKLOG_SLOPE_THRESHOLD}
+    if growing:
+        evidence["backlog_slope_events_per_s"] = growing
+    if signals.master_util >= CPU_SATURATION_THRESHOLD:
+        return Diagnosis("master-cpu", evidence)
+    if worst is not None and (
+            signals.slave_utils[worst] >= CPU_SATURATION_THRESHOLD
+            or signals.backlog_slopes.get(worst, 0.0)
+            > BACKLOG_SLOPE_THRESHOLD):
+        return Diagnosis("slave-cpu", evidence)
+    if signals.pool_wait_share >= POOL_WAIT_SHARE_THRESHOLD:
+        evidence["pool_wait_share"] = _round(signals.pool_wait_share)
+        return Diagnosis("pool", evidence)
+    if signals.ship_share >= SHIP_SHARE_THRESHOLD:
+        evidence["ship_share_of_staleness"] = _round(signals.ship_share)
+        return Diagnosis("network", evidence)
+    return Diagnosis("none", evidence)
+
+
+# ---------------------------------------------------- artifact signals
+def _window_mean(samples: list[tuple[float, float]]) -> float:
+    if not samples:
+        return 0.0
+    return sum(value for _, value in samples) / len(samples)
+
+
+def _slope(samples: list[tuple[float, float]]) -> float:
+    """Least-squares slope of (time, value) samples, per second."""
+    if len(samples) < 2:
+        return 0.0
+    n = len(samples)
+    mean_t = sum(t for t, _ in samples) / n
+    mean_v = sum(v for _, v in samples) / n
+    denominator = sum((t - mean_t) ** 2 for t, _ in samples)
+    if denominator == 0.0:
+        return 0.0
+    numerator = sum((t - mean_t) * (v - mean_v) for t, v in samples)
+    return numerator / denominator
+
+
+def signals_from_trace(data: TraceData, windows: PhaseWindows,
+                       waterfalls: Mapping[str, list[EventWaterfall]]
+                       ) -> CellSignals:
+    """Reduce recorded gauges + waterfalls to attribution signals.
+
+    Utilizations are steady-window means of the monitor's gauges;
+    backlog slopes are least-squares fits over the same window; the
+    pool-wait share comes from the ``pool.wait_s`` vs
+    ``driver.latency_s`` histogram sums; the ship share from the
+    steady-window waterfalls.
+    """
+    start, end = windows.steady_start, windows.steady_end
+    master_util = _window_mean(
+        data.gauge_window("master.cpu_util", start, end))
+    slave_utils: dict[str, float] = {}
+    backlog_slopes: dict[str, float] = {}
+    for name in data.gauge_names(".cpu_util"):
+        if not name.startswith("slave."):
+            continue
+        slave = name[len("slave."):-len(".cpu_util")]
+        slave_utils[slave] = _window_mean(
+            data.gauge_window(name, start, end))
+        backlog_slopes[slave] = _slope(data.gauge_window(
+            f"slave.{slave}.relay_backlog", start, end))
+    pool_wait = data.metric("pool.wait_s")
+    latency = data.metric("driver.latency_s")
+    pool_wait_share = 0.0
+    if pool_wait is not None and latency is not None and \
+            latency.get("sum", 0.0) > 0.0:
+        pool_wait_share = min(pool_wait["sum"] / latency["sum"], 1.0)
+    steady = [w for per_slave in waterfalls.values()
+              for w in per_slave
+              if start <= w.binlog_time < end]
+    ship_share = 0.0
+    if steady:
+        total = sum(w.staleness for w in steady)
+        if total > 0.0:
+            ship_share = sum(w.ship for w in steady) / total
+    return CellSignals(master_util=master_util,
+                       slave_utils=slave_utils,
+                       backlog_slopes=backlog_slopes,
+                       pool_wait_share=pool_wait_share,
+                       ship_share=ship_share,
+                       window=(start, end))

@@ -1,0 +1,87 @@
+"""Knee detection: where does a throughput-vs-users curve saturate?
+
+The paper reads its knees off the plots ("the knee of the one-slave
+curve is at about 100 users; with two or more slaves it moves to about
+175").  This module turns that reading into two asserted numbers per
+curve:
+
+* ``linear_limit_users`` — the last *grid point* still on the
+  linear-scaling line (offered load fully served): the paper's "knee
+  at ~100 users" for the 1-slave curve is this number, since the next
+  grid point already falls short of linear.
+* ``knee_users`` — the continuous capacity-intersection estimate: the
+  user count where the extrapolated linear-regime line crosses the
+  observed plateau.  Grid-free, so it lands between sample points
+  (~170 for the ≥2-slave curves on the quick grid).
+
+Both are reported because a coarse grid makes either one alone
+misleading: the linear limit quantizes to the grid, the intersection
+extrapolates past it.
+
+Pure sequences in, dataclass out — no simulation imports, so the same
+fit runs over a live sweep or numbers read back from a report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = ["Knee", "detect_knee", "LINEAR_TOLERANCE"]
+
+#: A point is still "linear" while its throughput is within 10 % of
+#: the linear-regime extrapolation — the slack jittery quick-scale
+#: runs need without letting a real shortfall pass.
+LINEAR_TOLERANCE = 0.10
+
+
+@dataclass(frozen=True)
+class Knee:
+    """One curve's saturation reading."""
+
+    knee_users: Optional[float]        # capacity / linear slope
+    linear_limit_users: Optional[int]  # last grid point on the line
+    capacity: float                    # plateau throughput (ops/s)
+    slope: float                       # linear-regime ops/s per user
+    saturated: bool                    # curve actually flattened
+
+    def as_dict(self) -> dict:
+        return {"knee_users": self.knee_users,
+                "linear_limit_users": self.linear_limit_users,
+                "capacity": self.capacity, "slope": self.slope,
+                "saturated": self.saturated}
+
+
+def detect_knee(users: Sequence[int], throughputs: Sequence[float],
+                tolerance: float = LINEAR_TOLERANCE) -> Knee:
+    """Fit one throughput-vs-users curve.
+
+    The linear regime is anchored on the first point (throughput per
+    user at the lightest load, where nothing is saturated), grown
+    while points stay within ``tolerance`` of it, then refit through
+    the origin over the points it kept.  Capacity is the observed
+    maximum; the knee is their intersection.  A curve whose every
+    point is linear is still rising — ``knee_users`` is None and
+    ``saturated`` is False.
+    """
+    if len(users) != len(throughputs):
+        raise ValueError(f"users/throughputs length mismatch: "
+                         f"{len(users)} vs {len(throughputs)}")
+    if not users:
+        raise ValueError("cannot detect a knee on an empty sweep")
+    if users[0] <= 0 or throughputs[0] <= 0:
+        raise ValueError("the first sweep point must have positive "
+                         "users and throughput to anchor the linear "
+                         "regime")
+    anchor = throughputs[0] / users[0]
+    linear = [(u, t) for u, t in zip(users, throughputs)
+              if t >= (1.0 - tolerance) * anchor * u]
+    # Through-origin least squares over the linear points.
+    slope = (sum(u * t for u, t in linear)
+             / sum(u * u for u, _ in linear))
+    capacity = max(throughputs)
+    linear_limit = max(u for u, _ in linear)
+    saturated = len(linear) < len(users)
+    knee_users = capacity / slope if saturated and slope > 0 else None
+    return Knee(knee_users=knee_users, linear_limit_users=linear_limit,
+                capacity=capacity, slope=slope, saturated=saturated)

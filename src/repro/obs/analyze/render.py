@@ -1,0 +1,148 @@
+"""Assemble and render one run's full analysis report.
+
+``analyze_trace`` is the one-call entry the CLI, the CI smoke step and
+the examples use: health check, per-slave staleness waterfalls,
+heartbeat reconciliation, telescoping verification and the bottleneck
+verdict, as one plain dict (JSON mode dumps it with sorted keys and
+fixed separators, so same-seed runs are byte-identical).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .bottleneck import attribute_bottleneck, signals_from_trace
+from .loader import AnalysisError, TraceData, health_errors
+from .waterfall import (STAGES, aggregate_stages, build_waterfalls,
+                        phase_windows, reconcile_heartbeats,
+                        telescoping_error)
+
+__all__ = ["analyze_trace", "render_analysis_text",
+           "render_analysis_json"]
+
+#: One ulp of slack per telescoping float sum (the identity is exact
+#: in real arithmetic; tests assert abs=1e-12 on the raw spans).
+TELESCOPING_TOLERANCE_S = 1e-9
+
+
+def analyze_trace(data: TraceData) -> dict:
+    """The whole diagnosis for one recorded run.
+
+    Raises :class:`AnalysisError` when the artifacts are unhealthy
+    (dropped spans, unattributed profiler residue) or too bare to
+    analyze — a broken trace must fail loudly, not produce a
+    plausible-looking report.
+    """
+    errors = health_errors(data.meta)
+    if errors:
+        raise AnalysisError("unhealthy trace artifacts:\n  " +
+                            "\n  ".join(errors))
+    windows = phase_windows(data)
+    waterfalls = build_waterfalls(data)
+    if not waterfalls:
+        raise AnalysisError("no fully-traced replication events in the "
+                            "artifacts — was the cell run with slaves "
+                            "attached and tracing enabled?")
+    per_slave: dict[str, dict] = {}
+    worst_telescoping = 0.0
+    total_events = 0
+    for slave, events in sorted(waterfalls.items()):
+        total_events += len(events)
+        worst_telescoping = max(
+            worst_telescoping,
+            max(telescoping_error(w) for w in events))
+        aggregates = aggregate_stages(events)
+        reconciliation = reconcile_heartbeats(data, slave, events,
+                                              windows)
+        per_slave[slave] = {
+            "events": len(events),
+            "stages_ms": {
+                stage: _ms(aggregates[stage].as_dict())
+                for stage in STAGES},
+            "staleness_ms": _ms(aggregates["staleness"].as_dict()),
+            "heartbeats": reconciliation.as_dict(),
+        }
+    signals = signals_from_trace(data, windows, waterfalls)
+    diagnosis = attribute_bottleneck(signals)
+    workload = data.spans_named("phase.workload")[0].get("attrs", {})
+    return {
+        "cell": {"users": workload.get("users"),
+                 "slaves": workload.get("slaves")},
+        "health": {
+            "droppedSpans": data.meta.get("droppedSpans", 0),
+            "unattributedSimTime": data.meta.get("unattributedSimTime"),
+        },
+        "windows": {
+            "baseline": [windows.baseline_start, windows.baseline_end],
+            "steady": [windows.steady_start, windows.steady_end],
+        },
+        "telescoping": {
+            "events": total_events,
+            "max_error_s": worst_telescoping,
+            "ok": worst_telescoping <= TELESCOPING_TOLERANCE_S,
+        },
+        "waterfall": per_slave,
+        "bottleneck": diagnosis.as_dict(),
+    }
+
+
+def _ms(stats: dict) -> dict:
+    """Stage stats from seconds to milliseconds (rounded for reading;
+    10 nanoseconds of print precision keeps the export deterministic
+    without implying more than the simulation resolves)."""
+    return {key: (value if key == "count"
+                  else round(value * 1000.0, 5))
+            for key, value in stats.items()}
+
+
+def render_analysis_json(report: dict) -> str:
+    return json.dumps(report, sort_keys=True, separators=(",", ":"))
+
+
+def render_analysis_text(report: dict) -> str:
+    lines: list[str] = []
+    cell = report["cell"]
+    lines.append(f"cell: users={cell['users']} slaves={cell['slaves']}")
+    steady = report["windows"]["steady"]
+    lines.append(f"steady window: [{steady[0]:.1f}s, {steady[1]:.1f}s)")
+    telescoping = report["telescoping"]
+    lines.append(
+        f"telescoping: {telescoping['events']} events, max error "
+        f"{telescoping['max_error_s']:.2e}s "
+        f"({'ok' if telescoping['ok'] else 'VIOLATED'})")
+    for slave, entry in sorted(report["waterfall"].items()):
+        lines.append("")
+        lines.append(f"staleness waterfall — {slave} "
+                     f"({entry['events']} events, ms)")
+        lines.append(f"{'stage':<12s} {'mean':>10s} {'p50':>10s} "
+                     f"{'p95':>10s} {'max':>10s}")
+        for stage in (*STAGES, "staleness"):
+            stats = entry["staleness_ms"] if stage == "staleness" \
+                else entry["stages_ms"][stage]
+            lines.append(f"{stage:<12s} {stats['mean']:>10.3f} "
+                         f"{stats['p50']:>10.3f} {stats['p95']:>10.3f} "
+                         f"{stats['max']:>10.3f}")
+        heartbeats = entry["heartbeats"]
+        estimator = heartbeats["estimator_relative_ms"]
+        waterfall_ms = heartbeats["waterfall_relative_ms"]
+        lines.append(
+            f"heartbeats: {heartbeats['loaded']} loaded / "
+            f"{heartbeats['baseline']} baseline / "
+            f"{heartbeats['censored']} censored")
+        lines.append(
+            "reconciliation: waterfall "
+            + (f"{waterfall_ms:.2f}" if waterfall_ms is not None
+               else "n/a")
+            + " ms vs estimator "
+            + (f"{estimator:.2f}" if estimator is not None else "n/a")
+            + " ms"
+            + ("" if heartbeats["within_tolerance"] is None else
+               (" (within tolerance)"
+                if heartbeats["within_tolerance"]
+                else " (OUTSIDE tolerance)")))
+    bottleneck = report["bottleneck"]
+    lines.append("")
+    evidence = ", ".join(f"{key}={value}" for key, value
+                         in sorted(bottleneck["evidence"].items()))
+    lines.append(f"bottleneck: {bottleneck['resource']} ({evidence})")
+    return "\n".join(lines)

@@ -24,7 +24,7 @@ from .metrics import MetricsRegistry
 from .tracer import ROOT, Span, Tracer
 
 __all__ = ["sorted_spans", "span_record", "spans_jsonl",
-           "metrics_jsonl", "chrome_trace"]
+           "metrics_jsonl", "chrome_trace", "trace_meta"]
 
 _PID = 1
 
@@ -58,9 +58,35 @@ def span_record(span: Span) -> dict:
     return record
 
 
-def spans_jsonl(tracer: Tracer) -> str:
-    """One JSON object per finished span, one per line."""
+def trace_meta(tracer: Tracer,
+               profiler: Optional[KernelProfiler] = None,
+               final_sim_time: Optional[float] = None) -> dict:
+    """The health rider: dropped-span count and profiler residue.
+
+    ``repro analyze`` refuses artifacts whose meta shows dropped spans
+    or an unattributed clock advance — both mean the trace is not the
+    faithful record the waterfall arithmetic assumes.
+    """
+    meta: dict = {"kind": "meta", "droppedSpans": tracer.dropped}
+    if final_sim_time is not None:
+        meta["finalSimTime"] = final_sim_time
+        if profiler is not None:
+            meta["attributedSimTime"] = profiler.total_sim_time
+            meta["unattributedSimTime"] = profiler.unattributed(
+                final_sim_time)
+    return meta
+
+
+def spans_jsonl(tracer: Tracer, meta: Optional[dict] = None) -> str:
+    """One JSON object per finished span, one per line.
+
+    ``meta`` (see :func:`trace_meta`) is prepended as a first line
+    marked ``"kind": "meta"`` so line-oriented consumers can tell it
+    from span records.
+    """
     lines = [_dumps(span_record(span)) for span in sorted_spans(tracer)]
+    if meta is not None:
+        lines.insert(0, _dumps(meta))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -72,7 +98,8 @@ def metrics_jsonl(registry: MetricsRegistry) -> str:
 
 def chrome_trace(tracer: Tracer,
                  profiler: Optional[KernelProfiler] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> str:
+                 metrics: Optional[MetricsRegistry] = None,
+                 final_sim_time: Optional[float] = None) -> str:
     """The full run as a Chrome trace-event JSON document.
 
     Spans become complete (``"ph": "X"``) events, instants become
@@ -116,6 +143,11 @@ def chrome_trace(tracer: Tracer,
     document = {"traceEvents": events, "displayTimeUnit": "ms"}
     if tracer.dropped:
         document["droppedSpans"] = tracer.dropped
+    if final_sim_time is not None:
+        document["finalSimTime"] = final_sim_time
+        if profiler is not None:
+            document["unattributedSimTime"] = profiler.unattributed(
+                final_sim_time)
     if profiler is not None:
         document["kernelProfile"] = profiler.snapshot()
     if metrics is not None:

@@ -55,9 +55,20 @@ class KernelProfiler:
 
     @property
     def total_sim_time(self) -> float:
-        """Sum of attributed clock advances == final ``sim.now`` (minus
-        any trailing ``run(until=...)`` idle tail)."""
+        """Sum of attributed clock advances == final ``sim.now`` (the
+        kernel books any trailing ``run(until=...)`` idle tail to the
+        synthetic ``<idle>`` owner, so the decomposition is exact)."""
         return sum(entry[2] for entry in self._stats.values())
+
+    def unattributed(self, final_sim_time: float) -> float:
+        """Advance residue the per-owner sums fail to explain.
+
+        Clock advances telescope, so this is float rounding noise
+        (≲ 1e-6 s) on a healthy run; anything larger means an advance
+        bypassed :meth:`on_execute` — ``repro analyze`` refuses such
+        traces.
+        """
+        return final_sim_time - self.total_sim_time
 
     def rows(self, grouped: bool = True) -> list[dict]:
         """Per-owner stats, most sim-time first (ties: by name).

@@ -19,7 +19,7 @@ from __future__ import annotations
 import os
 from typing import Optional
 
-from .export import chrome_trace, metrics_jsonl, spans_jsonl
+from .export import chrome_trace, metrics_jsonl, spans_jsonl, trace_meta
 from .kernelprof import KernelProfiler, render_profile
 from .metrics import MetricsRegistry
 from .tracer import Tracer
@@ -70,6 +70,18 @@ class Observability:
         if self.tracer is not None:
             self.tracer.close()
 
+    @property
+    def final_sim_time(self) -> Optional[float]:
+        """``sim.now`` of the attached run (None before attach)."""
+        return self._sim.now if self._sim is not None else None
+
+    def meta(self) -> dict:
+        """The trace-health rider (dropped spans, profiler residue)."""
+        if self.tracer is None:
+            raise RuntimeError("tracing was not enabled")
+        return trace_meta(self.tracer, profiler=self.profiler,
+                          final_sim_time=self.final_sim_time)
+
     # -- artifacts -----------------------------------------------------------
     def render_profile(self) -> str:
         if self.profiler is None:
@@ -94,8 +106,10 @@ class Observability:
         if self.tracer is not None:
             write("trace.json", chrome_trace(
                 self.tracer, profiler=self.profiler,
-                metrics=self.metrics))
-            write("spans.jsonl", spans_jsonl(self.tracer))
+                metrics=self.metrics,
+                final_sim_time=self.final_sim_time))
+            write("spans.jsonl", spans_jsonl(self.tracer,
+                                             meta=self.meta()))
         if self.metrics is not None:
             write("metrics.jsonl", metrics_jsonl(self.metrics))
         if self.profiler is not None:

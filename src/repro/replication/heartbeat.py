@@ -60,6 +60,11 @@ class HeartbeatPlugin:
         self.next_id = 1
         #: heartbeat id -> simulated insert time, for window filtering.
         self.inserted_at: dict[int, float] = {}
+        #: heartbeat id -> binlog position of its INSERT, so trace
+        #: analysis can pick the heartbeat population out of the
+        #: replication-stage spans (binlog events carry only the
+        #: *session* database, which is not ``heartbeats``).
+        self.positions: dict[int, int] = {}
         self._process = None
 
     def install(self) -> None:
@@ -88,12 +93,38 @@ class HeartbeatPlugin:
                 yield self.sim.timeout(self.interval)
                 heartbeat_id = self.next_id
                 self.next_id += 1
-                self.inserted_at[heartbeat_id] = self.sim.now
+                inserted = self.sim.now
+                self.inserted_at[heartbeat_id] = inserted
+                mark = len(self.master.binlog.events)
                 yield from self.master.perform(
                     f"INSERT INTO {HEARTBEAT_TABLE} (id, ts) "
                     f"VALUES ({heartbeat_id}, USEC_NOW())")
+                self._note_position(heartbeat_id, mark, inserted)
         except Interrupt:
             return
+
+    def _note_position(self, heartbeat_id: int, mark: int,
+                       inserted: float) -> None:
+        """Find the binlog event our INSERT produced.
+
+        Other transactions may commit between our append and
+        ``perform`` returning, so we scan forward from the pre-insert
+        head for our own statement text — the id is globally unique,
+        so the match is exact, not a heuristic.
+        """
+        needle = f"VALUES ({heartbeat_id}, "
+        for event in self.master.binlog.events[mark:]:
+            if isinstance(event.statement, str) and \
+                    needle in event.statement:
+                self.positions[heartbeat_id] = event.position
+                tracer = self.sim.tracer
+                if tracer.enabled:
+                    tracer.instant(
+                        "repl.heartbeat", category="replication",
+                        track=f"repl:{self.master.name}",
+                        hb_id=heartbeat_id, position=event.position,
+                        inserted=inserted)
+                return
 
 
 def collect_delays(plugin: HeartbeatPlugin, slave: SlaveServer,

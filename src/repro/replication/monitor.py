@@ -144,6 +144,8 @@ class ClusterMonitor:
                 metrics.gauge(f"{prefix}.relay_backlog").set(
                     entry.relay_backlog)
                 metrics.gauge(f"{prefix}.cpu_queue").set(entry.cpu_queue)
+                metrics.gauge(f"{prefix}.cpu_util").set(
+                    entry.cpu_utilization)
                 metrics.gauge(f"{prefix}.seconds_behind").set(
                     entry.seconds_behind)
         return sample

@@ -435,8 +435,14 @@ class Simulator:
             if until is not None and when > until:
                 break
             self.step()
-        if until is not None:
-            self._now = max(self._now, until)
+        if until is not None and until > self._now:
+            # Attribute the trailing idle advance (no event fires
+            # between the last one and ``until``) so the profiler's
+            # per-owner sums telescope to sim.now *exactly* — any
+            # remaining unattributed residue then indicates a bug.
+            if self.profiler is not None:
+                self.profiler.on_execute("<idle>", until - self._now)
+            self._now = until
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when empty."""

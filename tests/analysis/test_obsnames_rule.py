@@ -1,0 +1,99 @@
+"""OBS002: metric/span names must carry a greppable literal fragment."""
+
+from repro.analysis import lint_source
+
+
+def rule_ids(source):
+    return [finding.rule_id for finding in lint_source(source)]
+
+
+# ------------------------------------------------------------ positives
+def test_fully_dynamic_metric_name_fires():
+    assert rule_ids(
+        'def publish(metrics, name):\n'
+        '    metrics.counter(name).add(1)\n') == ["OBS002"]
+
+
+def test_dynamic_gauge_and_histogram_fire():
+    source = (
+        'def publish(registry, a, b):\n'
+        '    registry.gauge(a + b).set(1.0)\n'
+        '    registry.histogram(f"{a}{b}").observe(1.0)\n')
+    assert rule_ids(source) == ["OBS002", "OBS002"]
+
+
+def test_dynamic_span_name_fires():
+    assert rule_ids(
+        'def work(self, op):\n'
+        '    with self.sim.tracer.span(op):\n'
+        '        pass\n') == ["OBS002"]
+
+
+def test_dynamic_instant_and_open_span_fire():
+    source = (
+        'def mark(tracer, label):\n'
+        '    tracer.instant(label)\n'
+        '    tracer.open_span(label)\n')
+    assert rule_ids(source) == ["OBS002", "OBS002"]
+
+
+def test_name_keyword_is_checked():
+    assert rule_ids(
+        'def publish(metrics, label):\n'
+        '    metrics.counter(name=label).add(1)\n') == ["OBS002"]
+
+
+# ------------------------------------------------------------ negatives
+def test_literal_names_pass():
+    source = (
+        'def publish(metrics, tracer):\n'
+        '    metrics.counter("pool.borrows").add(1)\n'
+        '    tracer.instant("repl.heartbeat")\n')
+    assert rule_ids(source) == []
+
+
+def test_fstring_with_literal_tail_passes():
+    # The idiom the codebase uses: f"{prefix}.relay_backlog" is
+    # greppable by its tail.
+    source = (
+        'def publish(metrics, prefix, name):\n'
+        '    metrics.gauge(f"{prefix}.relay_backlog").set(1.0)\n'
+        '    metrics.gauge(f"slave.{name}.cpu_util").set(1.0)\n')
+    assert rule_ids(source) == []
+
+
+def test_literal_concatenation_passes():
+    assert rule_ids(
+        'def publish(metrics, prefix):\n'
+        '    metrics.counter(prefix + ".ops").add(1)\n') == []
+
+
+def test_module_constant_passes():
+    source = (
+        'GAUGE = "result.throughput"\n'
+        'def publish(metrics):\n'
+        '    metrics.gauge(GAUGE).set(1.0)\n')
+    assert rule_ids(source) == []
+
+
+def test_non_observability_receivers_ignored():
+    # span()/counter() on non-tracer/metrics receivers are someone
+    # else's API.
+    source = (
+        'def work(doc, row):\n'
+        '    doc.span(row)\n'
+        '    row.counter(doc).add(1)\n')
+    assert rule_ids(source) == []
+
+
+def test_fstring_with_no_literal_part_fires():
+    assert rule_ids(
+        'def publish(metrics, a):\n'
+        '    metrics.counter(f"{a}").add(1)\n') == ["OBS002"]
+
+
+def test_suppression_comment():
+    assert rule_ids(
+        'def publish(metrics, name):\n'
+        '    metrics.counter(name).add(1)'
+        '  # simlint: disable=OBS002\n') == []

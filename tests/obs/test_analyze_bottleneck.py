@@ -1,0 +1,121 @@
+"""Bottleneck attribution: decision table and artifact-signal wiring."""
+
+import pytest
+
+from repro.obs.analyze import (CellSignals, TraceData,
+                               attribute_bottleneck, build_waterfalls,
+                               phase_windows, signals_from_trace)
+from tests.obs.test_analyze_waterfall import pipeline_spans, span
+
+
+def signals(master=0.2, slave=0.2, slope=0.0, pool=0.0, ship=0.0):
+    return CellSignals(master_util=master,
+                       slave_utils={"s1": slave},
+                       backlog_slopes={"s1": slope},
+                       pool_wait_share=pool, ship_share=ship,
+                       window=(10.0, 30.0))
+
+
+def test_idle_cell_is_none():
+    diagnosis = attribute_bottleneck(signals())
+    assert diagnosis.resource == "none"
+    assert diagnosis.evidence["master_util"] == 0.2
+    assert diagnosis.evidence["worst_slave"] == "s1"
+
+
+def test_master_cpu_wins_over_everything():
+    diagnosis = attribute_bottleneck(
+        signals(master=0.95, slave=0.99, slope=10.0, pool=0.9,
+                ship=0.9))
+    assert diagnosis.resource == "master-cpu"
+
+
+def test_slave_cpu_by_utilization():
+    diagnosis = attribute_bottleneck(signals(slave=0.93))
+    assert diagnosis.resource == "slave-cpu"
+    assert diagnosis.evidence["worst_slave_util"] == 0.93
+
+
+def test_slave_cpu_by_backlog_divergence():
+    # A growing relay log names the apply thread even when the CPU
+    # gauge sits below the threshold (bursty apply work).
+    diagnosis = attribute_bottleneck(signals(slave=0.6, slope=2.5))
+    assert diagnosis.resource == "slave-cpu"
+    assert diagnosis.evidence["backlog_slope_events_per_s"] == \
+        {"s1": 2.5}
+
+
+def test_pool_starvation():
+    diagnosis = attribute_bottleneck(signals(pool=0.4))
+    assert diagnosis.resource == "pool"
+    assert diagnosis.evidence["pool_wait_share"] == 0.4
+
+
+def test_network_bound_cell():
+    diagnosis = attribute_bottleneck(signals(ship=0.8))
+    assert diagnosis.resource == "network"
+    assert diagnosis.evidence["ship_share_of_staleness"] == 0.8
+
+
+def test_worst_slave_tie_breaks_by_name():
+    tied = CellSignals(master_util=0.1,
+                       slave_utils={"s2": 0.5, "s1": 0.5})
+    assert tied.worst_slave == "s1"
+    assert CellSignals(master_util=0.1).worst_slave is None
+
+
+def test_render_and_as_dict():
+    diagnosis = attribute_bottleneck(signals(master=0.95))
+    assert diagnosis.as_dict() == {"resource": "master-cpu",
+                                   "evidence": diagnosis.evidence}
+    assert diagnosis.render().startswith("master-cpu (")
+
+
+# ------------------------------------------------- signals from trace
+@pytest.fixture()
+def traced():
+    spans = [
+        span("phase.baseline", 0.0, 5.0, track="experiment"),
+        span("phase.workload", 5.0, 35.0, track="experiment", users=5,
+             slaves=1, workload_start=5.0, steady_start=10.0,
+             steady_end=30.0),
+    ]
+    spans += pipeline_spans(1, 12.0, 12.4, 12.4, 12.6)
+    metrics = [
+        {"name": "master.cpu_util", "kind": "gauge",
+         "times": [5.0, 15.0, 25.0], "values": [0.2, 0.96, 0.94]},
+        {"name": "slave.s1.cpu_util", "kind": "gauge",
+         "times": [15.0, 25.0], "values": [0.5, 0.7]},
+        {"name": "slave.s1.relay_backlog", "kind": "gauge",
+         "times": [10.0, 20.0, 30.0], "values": [0.0, 20.0, 40.0]},
+        {"name": "pool.wait_s", "kind": "histogram", "sum": 30.0,
+         "count": 100},
+        {"name": "driver.latency_s", "kind": "histogram", "sum": 100.0,
+         "count": 100},
+    ]
+    return TraceData(spans=spans, metrics=metrics)
+
+
+def test_signals_from_trace(traced):
+    windows = phase_windows(traced)
+    waterfalls = build_waterfalls(traced)
+    result = signals_from_trace(traced, windows, waterfalls)
+    # The 5.0s sample is outside (10, 30]; the mean covers 0.96/0.94.
+    assert result.master_util == pytest.approx(0.95)
+    assert result.slave_utils == {"s1": pytest.approx(0.6)}
+    assert result.backlog_slopes["s1"] == pytest.approx(2.0)
+    assert result.pool_wait_share == pytest.approx(0.3)
+    # ship 0.4s of 0.6s staleness.
+    assert result.ship_share == pytest.approx(0.4 / 0.6)
+    assert result.window == (10.0, 30.0)
+    assert attribute_bottleneck(result).resource == "master-cpu"
+
+
+def test_signals_from_trace_without_gauges(traced):
+    traced.metrics = []
+    windows = phase_windows(traced)
+    result = signals_from_trace(traced, windows,
+                                build_waterfalls(traced))
+    assert result.master_util == 0.0
+    assert result.slave_utils == {}
+    assert result.pool_wait_share == 0.0

@@ -1,0 +1,77 @@
+"""Knee detection on synthetic throughput curves."""
+
+import pytest
+
+from repro.obs.analyze import Knee, LINEAR_TOLERANCE, detect_knee
+
+
+def test_perfectly_linear_curve_has_no_knee():
+    knee = detect_knee((10, 20, 30), (5.0, 10.0, 15.0))
+    assert not knee.saturated
+    assert knee.knee_users is None
+    assert knee.linear_limit_users == 30
+    assert knee.slope == pytest.approx(0.5)
+    assert knee.capacity == pytest.approx(15.0)
+
+
+def test_hard_plateau_knee_at_capacity_intersection():
+    # Linear at 0.1 ops/s/user up to 100 users, then a hard 10 ops/s
+    # ceiling: the intersection is exactly 100 users.
+    knee = detect_knee((50, 100, 150, 200), (5.0, 10.0, 10.0, 10.0))
+    assert knee.saturated
+    assert knee.linear_limit_users == 100
+    assert knee.knee_users == pytest.approx(100.0)
+    assert knee.capacity == pytest.approx(10.0)
+
+
+def test_soft_knee_lands_between_grid_points():
+    # The 150-user point already sags below linear; capacity keeps
+    # creeping up, so the intersection lands past the linear limit.
+    knee = detect_knee((50, 100, 150, 200), (5.0, 10.0, 12.0, 12.5))
+    assert knee.saturated
+    assert knee.linear_limit_users == 100
+    assert 100.0 < knee.knee_users < 150.0
+
+
+def test_tolerance_keeps_jittery_points_linear():
+    # 4 % sag is within the 10 % band — still linear.
+    knee = detect_knee((50, 100), (5.0, 9.6))
+    assert not knee.saturated
+    assert knee.linear_limit_users == 100
+    # A 20 % sag is not.
+    knee = detect_knee((50, 100), (5.0, 8.0))
+    assert knee.saturated
+    assert knee.linear_limit_users == 50
+
+
+def test_refit_uses_all_linear_points():
+    # Anchor slope is 0.1; the second point pulls the refit up a bit.
+    knee = detect_knee((50, 100, 200), (5.0, 10.5, 11.0))
+    assert 0.1 < knee.slope < 0.105
+    assert knee.saturated
+
+
+def test_as_dict_round_trips():
+    knee = detect_knee((50, 100, 150, 200), (5.0, 10.0, 10.0, 10.0))
+    data = knee.as_dict()
+    assert data["knee_users"] == knee.knee_users
+    assert data["linear_limit_users"] == 100
+    assert data["saturated"] is True
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="length mismatch"):
+        detect_knee((1, 2), (1.0,))
+    with pytest.raises(ValueError, match="empty sweep"):
+        detect_knee((), ())
+    with pytest.raises(ValueError, match="positive"):
+        detect_knee((0, 10), (0.0, 1.0))
+    with pytest.raises(ValueError, match="positive"):
+        detect_knee((10, 20), (0.0, 1.0))
+
+
+def test_custom_tolerance():
+    users, tputs = (50, 100), (5.0, 9.6)
+    assert not detect_knee(users, tputs,
+                           tolerance=LINEAR_TOLERANCE).saturated
+    assert detect_knee(users, tputs, tolerance=0.01).saturated

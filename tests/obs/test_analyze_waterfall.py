@@ -1,0 +1,211 @@
+"""Staleness waterfalls: synthetic decompositions and a real run."""
+
+import pytest
+
+from repro.obs.analyze import (AnalysisError, EventWaterfall, STAGES,
+                               TraceData, aggregate_stages, analyze_trace,
+                               build_waterfalls, from_session,
+                               phase_windows, reconcile_heartbeats,
+                               telescoping_error, trimmed_mean_of)
+from tests.obs.test_instrumentation import observed_run
+
+
+def span(name, start, end, track="repl:s1", **attrs):
+    record = {"id": 1, "name": name, "cat": "replication",
+              "track": track, "start": start, "end": end,
+              "dur": end - start}
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
+def pipeline_spans(position, binlog, ship_end, relay_end, apply_end,
+                   track="repl:s1"):
+    return [
+        span("repl.binlog", binlog, binlog, track="repl:master",
+             position=position),
+        span("repl.ship", binlog, ship_end, track=track,
+             position=position),
+        span("repl.relay", ship_end, relay_end, track=track,
+             position=position),
+        span("repl.apply", relay_end, apply_end, track=track,
+             position=position),
+    ]
+
+
+@pytest.fixture()
+def synthetic():
+    spans = pipeline_spans(1, 10.0, 10.05, 10.05, 10.08)
+    spans += pipeline_spans(2, 11.0, 11.06, 11.10, 11.20)
+    return TraceData(spans=spans)
+
+
+def test_waterfall_decomposition(synthetic):
+    waterfalls = build_waterfalls(synthetic)
+    assert set(waterfalls) == {"s1"}
+    first, second = waterfalls["s1"]
+    assert first.position == 1
+    assert first.ship == pytest.approx(0.05)
+    assert first.relay_wait == pytest.approx(0.0)
+    assert first.apply == pytest.approx(0.03)
+    assert first.staleness == pytest.approx(0.08)
+    assert second.relay_wait == pytest.approx(0.04)
+    assert second.staleness == pytest.approx(0.20)
+
+
+def test_stages_telescope_to_staleness(synthetic):
+    for event in build_waterfalls(synthetic)["s1"]:
+        assert telescoping_error(event) <= 1e-12
+        total = sum(event.stage(stage) for stage in STAGES)
+        assert total == pytest.approx(event.staleness, abs=1e-12)
+
+
+def test_incomplete_events_are_skipped(synthetic):
+    # Position 3 never gets its apply span (still in flight).
+    synthetic.spans += pipeline_spans(3, 12.0, 12.05, 12.06, 12.1)[:-1]
+    waterfalls = build_waterfalls(synthetic)
+    assert [w.position for w in waterfalls["s1"]] == [1, 2]
+
+
+def test_dropped_marker_excludes_span(synthetic):
+    extra = pipeline_spans(4, 13.0, 13.05, 13.06, 13.1)
+    extra[-1]["attrs"]["dropped"] = True
+    synthetic.spans += extra
+    assert [w.position for w in build_waterfalls(synthetic)["s1"]] \
+        == [1, 2]
+
+
+def test_aggregate_stages(synthetic):
+    stats = aggregate_stages(build_waterfalls(synthetic)["s1"])
+    assert set(stats) == set(STAGES) | {"staleness"}
+    assert stats["ship"].count == 2
+    assert stats["ship"].mean == pytest.approx(0.055)
+    assert stats["staleness"].max == pytest.approx(0.20)
+    assert stats["staleness"].p50 in (pytest.approx(0.08),
+                                      pytest.approx(0.20))
+    with pytest.raises(AnalysisError):
+        aggregate_stages([])
+
+
+def test_trimmed_mean_of():
+    assert trimmed_mean_of([1.0]) == 1.0
+    # 20 values, 5 % trim drops one per end.
+    values = [1.0] * 18 + [100.0, -100.0]
+    assert trimmed_mean_of(values) == pytest.approx(1.0)
+    with pytest.raises(AnalysisError):
+        trimmed_mean_of([])
+
+
+def test_phase_windows_require_phase_spans(synthetic):
+    with pytest.raises(AnalysisError, match="phase.baseline"):
+        phase_windows(synthetic)
+    synthetic.spans.append(span("phase.baseline", 0.0, 5.0,
+                                track="experiment"))
+    synthetic.spans.append(span("phase.workload", 5.0, 35.0,
+                                track="experiment", users=5, slaves=1))
+    with pytest.raises(AnalysisError, match="workload_start"):
+        phase_windows(synthetic)
+    synthetic.spans[-1]["attrs"].update(workload_start=5.0,
+                                        steady_start=10.0,
+                                        steady_end=30.0)
+    windows = phase_windows(synthetic)
+    assert windows.baseline_end == 5.0
+    assert windows.steady_start == 10.0
+    assert windows.steady_end == 30.0
+
+
+def test_reconciliation_mirrors_estimator_recipe(synthetic):
+    synthetic.spans.append(span("phase.baseline", 0.0, 5.0,
+                                track="experiment"))
+    synthetic.spans.append(
+        span("phase.workload", 5.0, 35.0, track="experiment",
+             users=5, slaves=1, workload_start=5.0, steady_start=10.0,
+             steady_end=30.0))
+    # Heartbeat at position 1 (baseline window, staleness 0.08) and
+    # position 2 (steady window, staleness 0.20); one more inserted in
+    # the steady window but never applied -> censored.
+    synthetic.spans.append(span("repl.heartbeat", 4.0, 4.0,
+                               track="repl:master", hb_id=1,
+                               position=1, inserted=4.0))
+    synthetic.spans.append(span("repl.heartbeat", 11.0, 11.0,
+                               track="repl:master", hb_id=2,
+                               position=2, inserted=11.0))
+    synthetic.spans.append(span("repl.heartbeat", 29.0, 29.0,
+                               track="repl:master", hb_id=3,
+                               position=99, inserted=29.0))
+    synthetic.metrics.append({"name": "slave.s1.relative_delay_ms",
+                              "kind": "gauge", "times": [35.0],
+                              "values": [119.0]})
+    windows = phase_windows(synthetic)
+    waterfalls = build_waterfalls(synthetic)["s1"]
+    reconciliation = reconcile_heartbeats(synthetic, "s1", waterfalls,
+                                          windows)
+    assert reconciliation.loaded == 1
+    assert reconciliation.baseline == 1
+    assert reconciliation.censored == 1
+    # (0.20 - 0.08) s = 120 ms against the gauge's 119 ms.
+    assert reconciliation.waterfall_relative_ms == pytest.approx(120.0)
+    assert reconciliation.estimator_relative_ms == 119.0
+    assert reconciliation.discrepancy_ms == pytest.approx(1.0)
+    assert reconciliation.within_tolerance
+
+
+def test_out_of_tolerance_is_flagged():
+    from repro.obs.analyze import HeartbeatReconciliation
+    reconciliation = HeartbeatReconciliation(
+        slave="s1", loaded=10, baseline=10, censored=0,
+        waterfall_relative_ms=50.0, estimator_relative_ms=10.0)
+    assert reconciliation.within_tolerance is False
+    missing = HeartbeatReconciliation(
+        slave="s1", loaded=0, baseline=0, censored=0,
+        waterfall_relative_ms=None, estimator_relative_ms=None)
+    assert missing.within_tolerance is None
+
+
+# ---------------------------------------------------------- real run
+@pytest.fixture(scope="module")
+def real_run():
+    return observed_run(monitor_period=1.0)
+
+
+def test_real_run_telescopes_exactly(real_run):
+    _, observe = real_run
+    data = from_session(observe)
+    waterfalls = build_waterfalls(data)
+    assert waterfalls, "no replication events traced"
+    for events in waterfalls.values():
+        for event in events:
+            assert telescoping_error(event) <= 1e-12
+            assert event.binlog_wait >= 0.0
+            assert event.ship > 0.0
+            assert event.apply > 0.0
+
+
+def test_real_run_full_report(real_run):
+    _, observe = real_run
+    report = analyze_trace(from_session(observe))
+    assert report["telescoping"]["ok"]
+    assert report["cell"] == {"users": 5, "slaves": 1}
+    entry = report["waterfall"]["slave-1"]
+    assert entry["events"] == report["telescoping"]["events"]
+    heartbeats = entry["heartbeats"]
+    assert heartbeats["loaded"] > 0
+    assert heartbeats["within_tolerance"] is True
+    # Staleness mean must equal the sum of the stage means (the
+    # aggregate-level telescoping the waterfall promises).
+    stage_sum = sum(entry["stages_ms"][stage]["mean"]
+                    for stage in STAGES)
+    assert stage_sum == pytest.approx(entry["staleness_ms"]["mean"],
+                                      abs=1e-3)
+
+
+def test_real_run_reconciles_with_estimator(real_run):
+    result, observe = real_run
+    data = from_session(observe)
+    windows = phase_windows(data)
+    waterfalls = build_waterfalls(data)
+    reconciliation = reconcile_heartbeats(
+        data, "slave-1", waterfalls["slave-1"], windows)
+    assert reconciliation.estimator_relative_ms == pytest.approx(
+        result.per_slave_delay_ms[0])
+    assert reconciliation.within_tolerance

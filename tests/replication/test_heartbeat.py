@@ -127,3 +127,103 @@ def test_trimming_discards_outliers():
     loaded = [sample(0.002)] * 19 + [sample(9.0)]  # one network spike
     relative = average_relative_delay_ms(loaded, baseline)
     assert relative == pytest.approx(1.0, abs=0.2)
+
+
+# ------------------------------------------------- estimator edge cases
+def test_empty_baseline_raises():
+    """No baseline window means no skew reference — the estimator must
+    refuse, not silently report a skew-contaminated number."""
+    from repro.replication import HeartbeatSample
+    loaded = [HeartbeatSample(1, 0.0, 0.002, 0.0)]
+    with pytest.raises(ValueError, match="no samples"):
+        average_relative_delay_ms(loaded, [])
+    with pytest.raises(ValueError, match="no samples"):
+        average_relative_delay_ms([], loaded)
+
+
+def test_single_sample_windows():
+    """One heartbeat per window: the 5 % trim floors to zero cut."""
+    from repro.replication import HeartbeatSample
+    loaded = [HeartbeatSample(2, 10.0, 10.007, 10.0)]
+    baseline = [HeartbeatSample(1, 0.0, 0.002, 0.0)]
+    relative = average_relative_delay_ms(loaded, baseline)
+    assert relative == pytest.approx(5.0)
+
+
+def test_estimator_with_ntp_disabled(sim, cloud):
+    """Without NTP, unchecked drift leaks into the relative delay —
+    exactly the paper's Fig. 4 sync-once failure mode.  The estimator
+    still computes (it cancels only the *mean* baseline skew)."""
+    from repro.cloud import MASTER_PLACEMENT
+    from repro.replication import ReplicationManager
+    manager = ReplicationManager(sim, cloud, ntp_period=None)
+    master = manager.create_master(MASTER_PLACEMENT)
+    plugin = HeartbeatPlugin(sim, master, interval=1.0)
+    plugin.install()
+    slave = manager.add_slave(MASTER_PLACEMENT)
+    # 100 ms/s of relative drift, far beyond anything NTP would allow.
+    slave.instance.clock.drift_rate = 0.1
+    plugin.start()
+    sim.run(until=20.5)
+    plugin.stop()
+    sim.run(until=22.0)
+    samples = collect_delays(plugin, slave)
+    baseline = [s for s in samples if s.inserted_simtime < 10.0]
+    loaded = [s for s in samples if s.inserted_simtime >= 10.0]
+    relative = average_relative_delay_ms(loaded, baseline)
+    # ~10 s between window midpoints at 100 ms/s drift ≈ 1 s apparent
+    # delay with *no* load at all.
+    assert relative > 500.0
+
+
+# ------------------------------------------------- binlog position tags
+def test_positions_recorded_for_every_heartbeat(sim, heartbeat, master):
+    heartbeat.start()
+    sim.run(until=5.5)
+    heartbeat.stop()
+    assert sorted(heartbeat.positions) == [1, 2, 3, 4, 5]
+    positions = [heartbeat.positions[i] for i in sorted(heartbeat.positions)]
+    assert positions == sorted(positions)
+    statements = {event.position: event.statement
+                  for event in master.binlog.events}
+    for heartbeat_id, position in heartbeat.positions.items():
+        assert f"VALUES ({heartbeat_id}, " in statements[position]
+
+
+def test_positions_survive_interleaved_commits(sim, heartbeat, master):
+    """Concurrent writers commit between the heartbeat's append and
+    its perform() return; the scan must still find the right event."""
+    def writer(sim, master):
+        for i in range(200):
+            yield from master.perform(
+                f"INSERT INTO items (grp, v) VALUES (1, {i})")
+
+    sim.process(writer(sim, master))
+    heartbeat.start()
+    sim.run(until=10.5)
+    heartbeat.stop()
+    statements = {event.position: event.statement
+                  for event in master.binlog.events}
+    # The last heartbeat may still be mid-perform at the horizon (CPU
+    # contention with the writer); every *completed* one is tagged.
+    assert len(heartbeat.positions) >= 9
+    for heartbeat_id, position in heartbeat.positions.items():
+        assert f"VALUES ({heartbeat_id}, " in statements[position]
+
+
+def test_heartbeat_instants_emitted_when_traced(sim, manager, master):
+    from repro.obs import Tracer
+    sim.tracer = Tracer(sim)
+    plugin = HeartbeatPlugin(sim, master, interval=1.0)
+    plugin.install()
+    plugin.start()
+    sim.run(until=3.5)
+    plugin.stop()
+    instants = [s for s in sim.tracer.spans
+                if s.name == "repl.heartbeat"]
+    assert len(instants) == 3
+    for span in instants:
+        assert span.attributes["position"] == \
+            plugin.positions[span.attributes["hb_id"]]
+        assert span.attributes["inserted"] == \
+            plugin.inserted_at[span.attributes["hb_id"]]

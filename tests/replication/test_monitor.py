@@ -136,3 +136,37 @@ def test_empty_cluster_sample_properties():
     assert sample.worst_backlog == 0
     assert sample.worst_seconds_behind == 0.0
     assert sample.max_slave_utilization == 0.0
+
+
+# ------------------------------------------------------ gauge publication
+def test_sample_now_publishes_gauges(sim, manager, master):
+    """Every sampled quantity must land in a metrics gauge — the trace
+    analyzer reads utilizations and backlogs back from these."""
+    from repro.obs import MetricsRegistry
+    manager.add_slave(MASTER_PLACEMENT)
+    slave_name = manager.slaves[0].name
+    sim.metrics = MetricsRegistry(now_fn=lambda: sim.now)
+    monitor = ClusterMonitor(sim, manager, period=5.0)
+    monitor.start()
+    sim.run(until=11.0)
+    monitor.stop()
+    names = {snapshot["name"] for snapshot in sim.metrics.snapshot()}
+    prefix = f"slave.{slave_name}"
+    assert {"master.cpu_util", "master.cpu_queue",
+            "master.binlog_head", f"{prefix}.relay_backlog",
+            f"{prefix}.cpu_queue", f"{prefix}.cpu_util",
+            f"{prefix}.seconds_behind"} <= names
+    cpu_util = sim.metrics.gauge(f"{prefix}.cpu_util").snapshot()
+    # One sample per period, each with its sim-time stamp.
+    assert cpu_util["times"] == [5.0, 10.0]
+    assert all(0.0 <= v <= 1.0 for v in cpu_util["values"])
+
+
+def test_gauges_silent_without_metrics(sim, manager, master):
+    """With the null registry the monitor must not record anything."""
+    manager.add_slave(MASTER_PLACEMENT)
+    monitor = ClusterMonitor(sim, manager, period=5.0)
+    monitor.start()
+    sim.run(until=6.0)
+    assert not sim.metrics.enabled
+    assert len(monitor.samples) == 1
