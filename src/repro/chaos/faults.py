@@ -1,0 +1,190 @@
+"""Fault schedules: *what* goes wrong, *when*, for *how long*.
+
+A :class:`FaultSchedule` is pure data — a sorted list of
+:class:`Fault` entries with sim-time offsets — so the same schedule
+can be printed, hashed, replayed and asserted on.  Schedules come from
+three places: hand-built lists (tests), the default drill plan
+(:func:`repro.chaos.drill.default_schedule`) and seeded random plans
+(:meth:`FaultSchedule.random_plan`), all deterministic.
+
+Fault kinds:
+
+``master-crash``
+    The master VM dies (no auto-restart; recovery is a failover
+    promotion).  ``target``/``duration``/``severity`` unused.
+``slave-crash``
+    A slave VM dies; after ``duration`` seconds it restarts and is
+    snapshot-resynced from the master.  ``target`` is the slave name.
+``partition``
+    The link between two regions is cut for ``duration`` seconds;
+    held replication traffic burst-flushes in order on heal.
+    ``target`` is ``"region-a|region-b"``.
+``latency``
+    One-way latency on a region pair (or everywhere, ``target="*"``)
+    surges by ``severity`` milliseconds for ``duration`` seconds.
+``slave-slow``
+    A slave's CPU degrades to ``severity`` × nominal speed for
+    ``duration`` seconds — the paper's §IV-A instance-performance
+    variation, made transient.  ``target`` is the slave name.
+``repl-stall``
+    The replication channel feeding one slave hangs for ``duration``
+    seconds (the dump connection wedges; client traffic unaffected),
+    then flushes.  ``target`` is the slave name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..sim import RandomStreams
+
+__all__ = ["Fault", "FaultSchedule", "FAULT_KINDS"]
+
+FAULT_KINDS = ("master-crash", "slave-crash", "partition", "latency",
+               "slave-slow", "repl-stall")
+
+#: Kinds whose ``target`` names a slave.
+_SLAVE_KINDS = ("slave-crash", "slave-slow", "repl-stall")
+#: Kinds whose ``target`` names a region pair.
+_LINK_KINDS = ("partition", "latency")
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """One scheduled fault (times relative to the schedule origin)."""
+
+    at: float
+    kind: str
+    target: str = ""
+    duration: float = 0.0
+    severity: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"choose from {FAULT_KINDS}")
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at}")
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, "
+                             f"got {self.duration}")
+        if self.kind in _SLAVE_KINDS and not self.target:
+            raise ValueError(f"{self.kind} needs a slave name target")
+        if self.kind == "partition" and "|" not in self.target:
+            raise ValueError("partition target must be "
+                             "'region-a|region-b'")
+        if self.kind == "latency" and self.severity <= 0:
+            raise ValueError("latency fault needs severity "
+                             "(extra one-way ms) > 0")
+        if self.kind == "slave-slow" \
+                and not 0.0 < self.severity <= 1.0:
+            raise ValueError("slave-slow severity is a speed factor "
+                             "in (0, 1]")
+
+    @property
+    def regions(self) -> tuple[str, ...]:
+        """The region names a link fault targets."""
+        if self.kind not in _LINK_KINDS or self.target == "*":
+            return ()
+        return tuple(self.target.split("|"))
+
+    def describe(self) -> str:
+        parts = [f"t=+{self.at:09.3f}s", f"{self.kind:<12s}",
+                 self.target or "-"]
+        if self.duration > 0:
+            parts.append(f"for {self.duration:.1f}s")
+        if self.severity > 0:
+            label = "extra_ms" if self.kind == "latency" else "factor"
+            parts.append(f"{label}={self.severity:g}")
+        return "  ".join(parts)
+
+
+class FaultSchedule:
+    """An ordered, validated plan of faults."""
+
+    def __init__(self, faults: Iterable[Fault]):
+        self.faults: tuple[Fault, ...] = tuple(sorted(faults))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    @property
+    def horizon(self) -> float:
+        """When the last fault has fully played out."""
+        return max((f.at + f.duration for f in self.faults),
+                   default=0.0)
+
+    def timeline(self) -> str:
+        """Human-readable (and hash-stable) rendering."""
+        return "\n".join(fault.describe() for fault in self.faults)
+
+    def digest(self) -> str:
+        """SHA-256 of the timeline — byte-identical per seed."""
+        return hashlib.sha256(
+            self.timeline().encode("utf-8")).hexdigest()
+
+    @classmethod
+    def random_plan(cls, streams: RandomStreams, horizon: float,
+                    slaves: Sequence[str],
+                    region_pairs: Sequence[tuple[str, str]] = (),
+                    n_faults: int = 5,
+                    include_master_crash: bool = False,
+                    stream_name: str = "chaos.plan"
+                    ) -> "FaultSchedule":
+        """Draw a deterministic random plan from a seeded stream.
+
+        Faults start in the first 70 % of ``horizon`` so their effects
+        (and recoveries) land inside the observed window.  With
+        ``include_master_crash`` one crash is appended at 80 % of the
+        horizon — late, so the plan measures recovery rather than
+        running most of the drill on the promoted topology.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if not slaves:
+            raise ValueError("random plans need at least one slave")
+        rng = streams.stream(stream_name)
+        kinds = ["slave-slow", "repl-stall", "slave-crash"]
+        if region_pairs:
+            kinds += ["latency", "partition"]
+        faults: list[Fault] = []
+        for _ in range(n_faults):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            at = float(rng.uniform(0.05, 0.70)) * horizon
+            duration = float(rng.uniform(0.05, 0.15)) * horizon
+            target, severity = "", 0.0
+            if kind in _SLAVE_KINDS:
+                target = slaves[int(rng.integers(len(slaves)))]
+                if kind == "slave-slow":
+                    severity = float(rng.uniform(0.2, 0.6))
+            else:
+                pair = region_pairs[int(rng.integers(len(region_pairs)))]
+                target = "|".join(pair)
+                if kind == "latency":
+                    severity = float(rng.uniform(50.0, 250.0))
+            faults.append(Fault(at=at, kind=kind, target=target,
+                                duration=duration, severity=severity))
+        if include_master_crash:
+            faults.append(Fault(at=0.8 * horizon, kind="master-crash"))
+        return cls(faults)
+
+    def validate_targets(self, slave_names: Sequence[str],
+                         region_names: Optional[Sequence[str]] = None
+                         ) -> None:
+        """Fail fast on targets the cluster does not have."""
+        for fault in self.faults:
+            if fault.kind in _SLAVE_KINDS \
+                    and fault.target not in slave_names:
+                raise ValueError(
+                    f"fault targets unknown slave {fault.target!r} "
+                    f"(cluster has {sorted(slave_names)})")
+            if region_names is not None:
+                for region in fault.regions:
+                    if region not in region_names:
+                        raise ValueError(
+                            f"fault targets unknown region {region!r}")

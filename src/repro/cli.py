@@ -148,6 +148,33 @@ def build_parser() -> argparse.ArgumentParser:
                          default="text")
     analyze.set_defaults(handler=_run_analyze)
 
+    chaos = sub.add_parser(
+        "chaos", help="run a fault-injection drill; print the "
+                      "recovery report (time-to-detect, "
+                      "time-to-recover, lost commits, staleness "
+                      "spike)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--users", type=int, default=20)
+    chaos.add_argument("--slaves", type=int, default=2)
+    chaos.add_argument("--plan", choices=("default", "random"),
+                       default="default",
+                       help="'default' exercises every fault kind and "
+                            "ends in a master crash; 'random' draws a "
+                            "seeded plan")
+    chaos.add_argument("--faults", type=int, default=5,
+                       help="fault count for --plan random")
+    chaos.add_argument("--master-crash", action="store_true",
+                       help="append a master crash to a random plan")
+    chaos.add_argument("--out", default=None,
+                       help="also write trace artifacts (spans, "
+                            "metrics, Chrome trace, profile) to this "
+                            "directory for 'repro analyze'")
+    chaos.add_argument("--format", choices=("text", "json"),
+                       default="text",
+                       help="json prints the canonical recovery "
+                            "report (byte-identical per seed)")
+    chaos.set_defaults(handler=_run_chaos)
+
     lint = sub.add_parser(
         "lint", help="simlint: determinism / sim-safety / SQL / "
                      "flow-pairing checks")
@@ -322,6 +349,52 @@ def _run_analyze(args):
     if args.format == "json":
         return render_analysis_json(report)
     return render_analysis_text(report)
+
+
+def _run_chaos(args):
+    import json
+
+    from .chaos import (DrillConfig, FaultSchedule, default_schedule,
+                        render_report_text, run_drill)
+    from .obs import Observability
+    from .sim import RandomStreams
+
+    if args.plan == "default":
+        if args.slaves < 2:
+            return ("repro chaos: error: the default plan targets "
+                    "slave-1 and slave-2; use --slaves >= 2 or "
+                    "--plan random", 2)
+        schedule = default_schedule()
+    else:
+        plan_streams = RandomStreams(args.seed)
+        config_probe = DrillConfig()
+        schedule = FaultSchedule.random_plan(
+            plan_streams, horizon=config_probe.phases.total,
+            slaves=[f"slave-{i + 1}" for i in range(args.slaves)],
+            region_pairs=[("us-east-1", "eu-west-1")],
+            n_faults=args.faults,
+            include_master_crash=args.master_crash)
+    config = DrillConfig(seed=args.seed, n_users=args.users,
+                         n_slaves=args.slaves, schedule=schedule)
+    observe = Observability(monitor_period=None)
+    result = run_drill(config, observe=observe)
+    if args.out:
+        paths = observe.write_artifacts(args.out)
+        import os
+        report_path = os.path.join(args.out, "recovery.json")
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(result.report, handle, sort_keys=True,
+                      separators=(",", ":"))
+            handle.write("\n")
+        paths["recovery.json"] = report_path
+    if args.format == "json":
+        return json.dumps(result.report, sort_keys=True,
+                          separators=(",", ":"))
+    text = render_report_text(result.report)
+    if args.out:
+        text += "\n" + "\n".join(
+            f"wrote {paths[name]}" for name in sorted(paths))
+    return text
 
 
 def _split_rule_lists(values: Optional[Sequence[str]]) -> list[str]:

@@ -96,12 +96,19 @@ class Instance:
         self.cpu = Resource(sim, capacity=itype.cores)
         self.running = True
         self._busy_time = 0.0
+        #: Multiplicative CPU slowdown (1.0 = healthy).  Fault injection
+        #: uses this to model a noisy-neighbour / bad-host episode: the
+        #: paper's §IV-A variation finding, but transient.
+        self.degradation = 1.0
+        self.crash_count = 0
+        self.total_downtime = 0.0
+        self._down_since: float = 0.0
 
     @property
     def effective_speed(self) -> float:
         """Per-core speed relative to the nominal small-instance core."""
         return self.itype.ecu_per_core * self.cpu_model.speed_factor \
-            * self.host_noise
+            * self.host_noise * self.degradation
 
     def pin_hardware(self, cpu_model: CpuModel,
                      host_noise: float = 1.0) -> None:
@@ -113,6 +120,40 @@ class Instance:
         """
         self.cpu_model = cpu_model
         self.host_noise = host_noise
+
+    # -- failure -------------------------------------------------------------
+    def crash(self) -> None:
+        """Take the VM down (fault injection / host failure).
+
+        In-flight compute finishes draining — the model's analogue of
+        connections timing out rather than vanishing instantaneously —
+        but callers should reject *new* work at the server layer
+        (``DatabaseServer.perform`` refuses once ``online`` is False).
+        """
+        if not self.running:
+            return
+        self.running = False
+        self.crash_count += 1
+        self._down_since = self.sim.now
+
+    def restart(self) -> None:
+        """Bring a crashed VM back; volatile state is the caller's
+        problem (a database server must re-sync from a snapshot)."""
+        if self.running:
+            return
+        self.running = True
+        self.total_downtime += self.sim.now - self._down_since
+
+    def slow_down(self, factor: float) -> None:
+        """Degrade the CPU by ``factor`` (0 < factor <= 1)."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"degradation factor must be in (0, 1], "
+                             f"got {factor}")
+        self.degradation = factor
+
+    def restore_speed(self) -> None:
+        """End a degradation episode."""
+        self.degradation = 1.0
 
     # -- compute -------------------------------------------------------------
     def service_time(self, work: float) -> float:

@@ -68,6 +68,47 @@ class Network:
         self.bytes_sent = 0
         self._down_region_pairs: set[frozenset] = set()
         self._heal_waiters: dict[frozenset, list[Event]] = {}
+        #: Transient latency surges: extra one-way milliseconds added to
+        #: every sample, keyed on a frozenset of the two region names
+        #: (or :data:`Network.EVERYWHERE` for a global surge).
+        self._latency_surges: dict[frozenset, float] = {}
+
+    #: Surge key applying to every non-loopback path.
+    EVERYWHERE: frozenset = frozenset(("*",))
+
+    # -- latency surges -------------------------------------------------------
+    def add_latency(self, extra_ms: float,
+                    region_a: Optional[str] = None,
+                    region_b: Optional[str] = None) -> None:
+        """Inflate one-way latency by ``extra_ms`` until cleared.
+
+        With a region pair, only that pair degrades; without one, every
+        non-loopback path does (a congestion event rather than a bad
+        link).  Surges stack additively with the model's medians; the
+        lognormal jitter applies on top, so jitter grows with them.
+        """
+        if extra_ms < 0:
+            raise ValueError(f"extra_ms must be >= 0, got {extra_ms}")
+        key = self.EVERYWHERE if region_a is None \
+            else frozenset((region_a, region_b or region_a))
+        self._latency_surges[key] = \
+            self._latency_surges.get(key, 0.0) + extra_ms
+
+    def clear_latency(self, region_a: Optional[str] = None,
+                      region_b: Optional[str] = None) -> None:
+        """End the surge on a pair (or the global surge)."""
+        key = self.EVERYWHERE if region_a is None \
+            else frozenset((region_a, region_b or region_a))
+        self._latency_surges.pop(key, None)
+
+    def surge_ms(self, src: Placement, dst: Placement) -> float:
+        """Extra one-way milliseconds currently applied to a path."""
+        if not self._latency_surges or src == dst:
+            return 0.0
+        extra = self._latency_surges.get(self.EVERYWHERE, 0.0)
+        extra += self._latency_surges.get(
+            frozenset((src.region, dst.region)), 0.0)
+        return extra
 
     # -- partitions -----------------------------------------------------------
     def partition(self, region_a: str, region_b: str) -> None:
@@ -105,7 +146,8 @@ class Network:
 
     def sample_one_way(self, src: Placement, dst: Placement) -> float:
         """One jittered one-way latency sample, in **seconds**."""
-        median_ms = self.model.median_one_way_ms(src, dst)
+        median_ms = self.model.median_one_way_ms(src, dst) \
+            + self.surge_ms(src, dst)
         sample_ms = self.streams.lognormal_around(
             "network.latency", median_ms, self.model.jitter_sigma)
         return max(sample_ms, self.model.floor_ms) / 1000.0

@@ -1,17 +1,19 @@
 """Master-slave replication middleware (the paper's database tier)."""
 
 from .cost import CostModel, DEFAULT_COST_MODEL
-from .failover import best_candidate, fail_master, promote
+from .failover import (best_candidate, data_loss_window, fail_master,
+                       promote)
 from .heartbeat import (HEARTBEAT_DATABASE, HEARTBEAT_TABLE, HeartbeatPlugin,
                         HeartbeatSample, average_relative_delay_ms,
                         collect_delays)
-from .manager import ReplicationManager
+from .manager import ReplicationManager, resync_slave_from
 from .master import MasterServer
 from .messages import OrderedChannel
 from .monitor import (ClusterMonitor, ClusterSample, PressureSignals,
                       SlaveSample, detect_pressure)
-from .pool import ConnectionPool, PooledConnection
+from .pool import ConnectionPool, PooledConnection, PoolTimeout
 from .proxy import BALANCING_POLICIES, ReadWriteSplitProxy
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .server import DatabaseServer
 from .slave import SlaveServer
 
@@ -24,12 +26,17 @@ __all__ = [
     "BALANCING_POLICIES",
     "ConnectionPool",
     "PooledConnection",
+    "PoolTimeout",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
     "OrderedChannel",
     "CostModel",
     "DEFAULT_COST_MODEL",
     "fail_master",
     "promote",
     "best_candidate",
+    "data_loss_window",
+    "resync_slave_from",
     "ClusterMonitor",
     "ClusterSample",
     "SlaveSample",

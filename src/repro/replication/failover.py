@@ -24,12 +24,12 @@ from __future__ import annotations
 from typing import Optional
 
 from ..db.errors import DatabaseError
-from ..sim import Store
-from .manager import ReplicationManager
+from .manager import ReplicationManager, resync_slave_from
 from .master import MasterServer
 from .slave import SlaveServer
 
-__all__ = ["fail_master", "promote", "best_candidate"]
+__all__ = ["fail_master", "promote", "best_candidate",
+           "data_loss_window"]
 
 
 def fail_master(manager: ReplicationManager) -> MasterServer:
@@ -45,6 +45,20 @@ def fail_master(manager: ReplicationManager) -> MasterServer:
     for slave in list(master.slaves):
         master.detach_slave(slave)
     return master
+
+
+def data_loss_window(dead_master: MasterServer,
+                     candidate: SlaveServer) -> int:
+    """Committed binlog events the candidate never received.
+
+    This is the §II asynchronous-replication caveat made measurable:
+    the master acknowledged these commits to clients, but they die
+    with it.  Zero is possible (an idle master, or a candidate that
+    was fully caught up) — a fault drill reports the *measured* value
+    rather than assuming it.
+    """
+    return max(0, dead_master.binlog.head_position
+               - candidate.received_position)
 
 
 def best_candidate(manager: ReplicationManager) -> SlaveServer:
@@ -98,15 +112,10 @@ def promote(manager: ReplicationManager,
     manager.master = new_master
     manager.slaves = []
     for slave in survivors:
-        slave.stop_replication()
-        # Fresh relay log: discards both the dead master's undelivered
-        # events and the interrupted SQL thread's stale getter.
-        slave.relay_log = Store(manager.sim)
-        slave.engine.restore(new_master.engine.snapshot())
-        slave.start_position = new_master.binlog.head_position
-        slave.applied_position = slave.start_position
-        slave.received_position = slave.start_position
-        slave._sql_thread_process = None
-        new_master.attach_slave(slave, manager.cloud.network)
+        # Fresh snapshot + relay log: discards both the dead master's
+        # undelivered events and the interrupted SQL thread's stale
+        # getter.
+        resync_slave_from(manager.sim, new_master, slave,
+                          manager.cloud.network)
         manager.slaves.append(slave)
     return new_master

@@ -87,6 +87,7 @@ class HeartbeatPlugin:
         self._process = None
 
     def _run(self):
+        from ..db.errors import DatabaseError
         from ..sim import Interrupt
         try:
             while True:
@@ -96,9 +97,17 @@ class HeartbeatPlugin:
                 inserted = self.sim.now
                 self.inserted_at[heartbeat_id] = inserted
                 mark = len(self.master.binlog.events)
-                yield from self.master.perform(
-                    f"INSERT INTO {HEARTBEAT_TABLE} (id, ts) "
-                    f"VALUES ({heartbeat_id}, USEC_NOW())")
+                try:
+                    yield from self.master.perform(
+                        f"INSERT INTO {HEARTBEAT_TABLE} (id, ts) "
+                        f"VALUES ({heartbeat_id}, USEC_NOW())")
+                except DatabaseError:
+                    # The master died under us (an injected crash): the
+                    # plug-in dies with it, like a real master-side UDF
+                    # job.  Post-failover staleness is measured by the
+                    # cluster monitor's oracle instead.
+                    del self.inserted_at[heartbeat_id]
+                    return
                 self._note_position(heartbeat_id, mark, inserted)
         except Interrupt:
             return

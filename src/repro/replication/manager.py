@@ -26,14 +26,38 @@ import numpy as np
 from ..cloud.instance import InstanceType, SMALL
 from ..cloud.provisioner import Cloud
 from ..cloud.regions import Placement
-from ..sim import Simulator
+from ..db.errors import DatabaseError
+from ..sim import Simulator, Store
 from .cost import CostModel, DEFAULT_COST_MODEL
 from .heartbeat import HEARTBEAT_DATABASE
 from .master import MasterServer
 from .proxy import ReadWriteSplitProxy
 from .slave import SlaveServer
 
-__all__ = ["ReplicationManager"]
+__all__ = ["ReplicationManager", "resync_slave_from"]
+
+
+def resync_slave_from(sim: Simulator, master: MasterServer,
+                      slave: SlaveServer, network) -> None:
+    """Snapshot-resync ``slave`` from ``master`` and re-attach it.
+
+    The slave's replication threads stop, its relay log is discarded
+    (with any undelivered or half-applied tail), its data is replaced
+    by a fresh master snapshot taken at the current binlog head, and a
+    new dump thread starts from that position — the same procedure
+    ``add_slave`` uses for a brand-new replica.  Shared between crash
+    recovery (ReplicationManager.resync_slave) and failover
+    (promote re-syncs every survivor from the new master).
+    """
+    slave.stop_replication()
+    slave.relay_log = Store(sim)
+    slave.engine.restore(master.engine.snapshot())
+    position = master.binlog.head_position
+    slave.start_position = position
+    slave.applied_position = position
+    slave.received_position = position
+    slave._sql_thread_process = None
+    master.attach_slave(slave, network)
 
 
 class ReplicationManager:
@@ -105,6 +129,40 @@ class ReplicationManager:
         self.master.detach_slave(slave)
         self.slaves.remove(slave)
         self.cloud.terminate(slave.instance)
+
+    # -- fault handling ---------------------------------------------------------
+    def stall_replication(self, slave: SlaveServer) -> None:
+        """Freeze the replication channel feeding ``slave``."""
+        if self.master is None:
+            raise DatabaseError("cluster has no master")
+        self.master.channel_to(slave).stall()
+
+    def resume_replication(self, slave: SlaveServer) -> None:
+        """Unfreeze ``slave``'s channel; held events flush in order."""
+        if self.master is None:
+            raise DatabaseError("cluster has no master")
+        self.master.channel_to(slave).resume()
+
+    def resync_slave(self, slave: SlaveServer) -> None:
+        """Re-synchronize a diverged or restarted slave from the master.
+
+        A crashed slave loses its replication position (its relay log
+        and any half-applied transaction are gone with the VM), so the
+        recovery path mirrors ``add_slave``: fresh snapshot at the
+        current binlog head, then stream from there.
+        """
+        if slave not in self.slaves:
+            raise ValueError(f"{slave.name!r} is not part of this cluster")
+        if self.master is None or not self.master.online:
+            raise DatabaseError("cannot re-sync without an online master")
+        if not slave.instance.running:
+            raise DatabaseError(f"instance of {slave.name!r} is down; "
+                                f"restart it before re-syncing")
+        if any(attached is slave for attached in self.master.slaves):
+            self.master.detach_slave(slave)
+        slave.online = True
+        resync_slave_from(self.sim, self.master, slave,
+                          self.cloud.network)
 
     def build_proxy(self, client_placement: Placement,
                     policy: str = "round_robin",

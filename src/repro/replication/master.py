@@ -44,6 +44,7 @@ class MasterServer(DatabaseServer):
         self.semi_sync = semi_sync
         self.slaves: list["SlaveServer"] = []
         self._dump_processes = []
+        self._channels: list[OrderedChannel] = []
         self._ack_position = 0
         self._ack_waiters: list[tuple[int, Event]] = []
 
@@ -76,6 +77,7 @@ class MasterServer(DatabaseServer):
                                  on_delivery=slave.receive_event)
         slave.connect_to_master(self, network)
         self.slaves.append(slave)
+        self._channels.append(channel)
         process = self.sim.process(
             self._dump_thread(slave, channel),
             name=f"binlog-dump:{self.name}->{slave.name}")
@@ -89,7 +91,16 @@ class MasterServer(DatabaseServer):
                     process.interrupt("detached")
                 del self.slaves[position]
                 del self._dump_processes[position]
+                del self._channels[position]
                 return
+        raise ValueError(f"slave {slave.name!r} is not attached")
+
+    def channel_to(self, slave: "SlaveServer") -> OrderedChannel:
+        """The replication channel feeding ``slave`` (fault injection
+        stalls it; see ReplicationManager.stall_replication)."""
+        for position, attached in enumerate(self.slaves):
+            if attached is slave:
+                return self._channels[position]
         raise ValueError(f"slave {slave.name!r} is not attached")
 
     def _dump_thread(self, slave: "SlaveServer", channel: OrderedChannel):

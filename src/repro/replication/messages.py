@@ -28,6 +28,7 @@ class OrderedChannel:
         self.on_delivery = on_delivery
         self._last_delivery_at = 0.0
         self._held: list[tuple[Any, int]] = []
+        self._stalled = False
         self.messages_sent = 0
 
     def send(self, payload: Any, size_bytes: int = 0) -> float:
@@ -35,16 +36,39 @@ class OrderedChannel:
 
         The delivery time is ``now + sampled latency`` but never before
         the previously sent message's delivery (TCP ordering).  During
-        a network partition the message is held — the connection keeps
-        retransmitting — and flushed in order once the link heals.
+        a network partition (or an injected stall) the message is held —
+        the connection keeps retransmitting — and flushed in order once
+        the link heals (and the stall lifts).
         """
-        if self.network.is_partitioned(self.src, self.dst) or self._held:
-            if not self._held:
+        if self.network.is_partitioned(self.src, self.dst) \
+                or self._stalled or self._held:
+            if not self._held and not self._stalled:
                 self.network.when_healed(self.src, self.dst).callbacks \
                     .append(self._flush_held)
             self._held.append((payload, size_bytes))
             return float("inf")
         return self._dispatch(payload, size_bytes)
+
+    # -- stalls ---------------------------------------------------------------
+    def stall(self) -> None:
+        """Freeze delivery (an injected replication-channel hang).
+
+        Unlike a partition this is per-channel: other traffic between
+        the same placements keeps flowing.
+        """
+        self._stalled = True
+
+    def resume(self) -> None:
+        """Lift a stall; held messages flush in send order."""
+        if not self._stalled:
+            return
+        self._stalled = False
+        self._flush_held(None)
+
+    @property
+    def held_count(self) -> int:
+        """Messages waiting out a partition or stall."""
+        return len(self._held)
 
     def _dispatch(self, payload: Any, size_bytes: int) -> float:
         sim = self.network.sim
@@ -60,6 +84,8 @@ class OrderedChannel:
         return deliver_at
 
     def _flush_held(self, _healed) -> None:
+        if self._stalled:
+            return  # resume() will flush when the stall lifts
         if self.network.is_partitioned(self.src, self.dst):
             # Partitioned again before the flush ran; wait once more.
             self.network.when_healed(self.src, self.dst).callbacks \

@@ -9,9 +9,20 @@ FIFO order.
 
 from __future__ import annotations
 
+from ..db.errors import DatabaseError
 from ..sim import Request, Resource, SimulationError, Simulator
 
-__all__ = ["ConnectionPool", "PooledConnection"]
+__all__ = ["ConnectionPool", "PooledConnection", "PoolTimeout"]
+
+
+class PoolTimeout(DatabaseError):
+    """``pool.acquire(timeout=...)`` gave up waiting for a slot.
+
+    DBCP's ``maxWait``: under saturation (or a stalled cluster) a
+    bounded wait turns an indefinite hang into a retryable error.
+    Subclasses DatabaseError so driver-level error handling treats it
+    like any other failed operation.
+    """
 
 
 class PooledConnection:
@@ -38,21 +49,36 @@ class ConnectionPool:
         self._slots = Resource(sim, capacity=max_active)
         self.total_borrows = 0
         self.total_wait_time = 0.0
+        self.timeouts = 0
 
-    def acquire(self):
+    def acquire(self, timeout: float = None):
         """Process generator: borrow a connection (may wait).
 
-        Usage: ``conn = yield from pool.acquire()``.
+        Usage: ``conn = yield from pool.acquire()``.  With ``timeout``
+        the wait is bounded: if no slot is granted within ``timeout``
+        simulated seconds the claim is withdrawn and :class:`PoolTimeout`
+        raises — the borrower owns nothing afterwards.
         """
         asked_at = self.sim.now
         request = self._slots.request()
         try:
             with self.sim.tracer.span("pool.acquire", category="client",
                                       waiting=self.waiting):
-                yield request
+                if timeout is None:
+                    yield request
+                else:
+                    yield request | self.sim.timeout(timeout)
+                    if not request.granted:
+                        self.timeouts += 1
+                        if self.sim.metrics.enabled:
+                            self.sim.metrics.counter(
+                                "pool.timeouts").inc()
+                        raise PoolTimeout(
+                            f"no connection within {timeout}s "
+                            f"({self.waiting} waiting)")
         except BaseException:
-            # The borrower was interrupted (or the grant failed)
-            # while waiting: withdraw the claim, or the pool
+            # The borrower was interrupted (or timed out, or the grant
+            # failed) while waiting: withdraw the claim, or the pool
             # permanently loses a slot.  Releasing an ungranted
             # request cancels it.
             self._slots.release(request)

@@ -67,9 +67,14 @@ class ReadWriteSplitProxy:
         self._last_write_at: dict = {}
         self._cursor = 0
         self._outstanding: dict[str, int] = {}
+        #: Slaves temporarily pulled out of read balancing (offline or
+        #: too stale); they stay cluster members and keep replicating.
+        self._evicted: set[str] = set()
         self.reads_routed = 0
         self.writes_routed = 0
         self.sticky_reads = 0
+        self.evictions = 0
+        self.readmissions = 0
 
     # -- routing ------------------------------------------------------------
     def note_write(self, session) -> None:
@@ -93,8 +98,51 @@ class ReadWriteSplitProxy:
         return last_write is not None and \
             self.network.sim.now - last_write < self.read_your_writes_window
 
+    # -- health-based eviction -----------------------------------------------
+    def evict(self, slave: SlaveServer, reason: str = "") -> bool:
+        """Pull ``slave`` out of read balancing (stale or offline).
+
+        The slave remains attached to the master and keeps applying
+        events; only client reads stop landing on it.  Returns True if
+        the call changed anything.
+        """
+        if slave.name in self._evicted:
+            return False
+        self._evicted.add(slave.name)
+        self.evictions += 1
+        sim = self.network.sim
+        if sim.tracer.enabled:
+            sim.tracer.instant("proxy.evict", category="client",
+                               slave=slave.name, reason=reason)
+        if sim.metrics.enabled:
+            sim.metrics.counter("proxy.evictions").inc()
+        return True
+
+    def readmit(self, slave: SlaveServer) -> bool:
+        """Return a recovered slave to read balancing."""
+        if slave.name not in self._evicted:
+            return False
+        self._evicted.discard(slave.name)
+        self.readmissions += 1
+        sim = self.network.sim
+        if sim.tracer.enabled:
+            sim.tracer.instant("proxy.readmit", category="client",
+                               slave=slave.name)
+        if sim.metrics.enabled:
+            sim.metrics.counter("proxy.readmissions").inc()
+        return True
+
+    def is_evicted(self, slave: SlaveServer) -> bool:
+        return slave.name in self._evicted
+
+    @property
+    def healthy_slaves(self) -> list[SlaveServer]:
+        """Slaves currently eligible for reads."""
+        return [s for s in self.slaves
+                if s.online and s.name not in self._evicted]
+
     def pick_read_server(self, session=None) -> DatabaseServer:
-        """Balance a read over the slaves (master if there are none).
+        """Balance a read over the healthy slaves (master if none).
 
         Multi-statement read operations call this once and pin every
         statement to the chosen replica for session consistency.  A
@@ -104,18 +152,20 @@ class ReadWriteSplitProxy:
             self.reads_routed += 1
             self.sticky_reads += 1
             return self.master
-        if not self.slaves:
-            # Degenerate cluster: master serves reads too.
+        candidates = self.healthy_slaves
+        if not candidates:
+            # Degenerate cluster (or every slave evicted): the master
+            # serves reads too.
             self.reads_routed += 1
             return self.master
         self.reads_routed += 1
         if self.policy == "round_robin":
-            slave = self.slaves[self._cursor % len(self.slaves)]
+            slave = candidates[self._cursor % len(candidates)]
             self._cursor += 1
             return slave
         if self.policy == "random":
-            return self.slaves[int(self.rng.integers(len(self.slaves)))]
-        return min(self.slaves,
+            return candidates[int(self.rng.integers(len(candidates)))]
+        return min(candidates,
                    key=lambda s: (self._outstanding.get(s.name, 0),
                                   s.name))
 

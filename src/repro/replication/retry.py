@@ -1,0 +1,72 @@
+"""Bounded retry with exponential backoff.
+
+The paper's client stack (Cloudstone over DBCP over Connector/J)
+retries failed operations the way production drivers do: a bounded
+number of attempts, exponential backoff between them, and a cap so
+backoff never exceeds a human-scale pause.  The policy is data; the
+retry *loop* lives in the caller (see
+``workloads/cloudstone/driver.py``), which must release any held
+connection **before** sleeping out the backoff — a fault interrupting
+the sleep must find the borrower owning nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client retries a failed database operation."""
+
+    #: Total attempts, the first one included (1 = no retry).
+    max_attempts: int = 3
+    #: Backoff before the first retry, seconds.
+    base_backoff: float = 0.1
+    #: Backoff growth per retry.
+    multiplier: float = 2.0
+    #: Ceiling on a single backoff, seconds.
+    max_backoff: float = 5.0
+    #: Full-jitter fraction: each backoff is scaled by a uniform draw
+    #: from ``[1 - jitter, 1 + jitter]`` (0 disables jitter).
+    jitter: float = 0.0
+    #: Bound on ``pool.acquire`` waits, seconds (None: wait forever).
+    acquire_timeout: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, "
+                             f"got {self.max_attempts}")
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoffs must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, "
+                             f"got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), "
+                             f"got {self.jitter}")
+        if self.acquire_timeout is not None and self.acquire_timeout <= 0:
+            raise ValueError("acquire_timeout must be positive")
+
+    def backoff_for(self, attempt: int, rng=None) -> float:
+        """Backoff after failed attempt number ``attempt`` (0-based).
+
+        ``rng`` (a numpy Generator) supplies the jitter draw; pass the
+        caller's seeded stream so backoff stays deterministic.
+        """
+        delay = min(self.base_backoff * self.multiplier ** attempt,
+                    self.max_backoff)
+        if self.jitter > 0.0 and rng is not None:
+            delay *= float(rng.uniform(1.0 - self.jitter,
+                                       1.0 + self.jitter))
+        return delay
+
+
+#: The configuration fault drills run with: three attempts, 100 ms
+#: doubling backoff, and a 10 s bound on pool waits.
+DEFAULT_RETRY_POLICY = RetryPolicy(max_attempts=3, base_backoff=0.1,
+                                   multiplier=2.0, max_backoff=5.0,
+                                   jitter=0.1, acquire_timeout=10.0)

@@ -17,10 +17,13 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
+from typing import Optional
+
 from ...db.errors import DatabaseError
 from ...metrics import TimeSeries
-from ...replication.pool import ConnectionPool
+from ...replication.pool import ConnectionPool, PoolTimeout
 from ...replication.proxy import ReadWriteSplitProxy
+from ...replication.retry import RetryPolicy
 from ...sim import RandomStreams, Simulator
 from .mix import OperationMix
 from .state import WorkloadState
@@ -65,7 +68,8 @@ class LoadGenerator:
                  pool: ConnectionPool, mix: OperationMix,
                  state: WorkloadState, streams: RandomStreams,
                  n_users: int, think_time_mean: float = 7.0,
-                 phases: Phases = PAPER_PHASES):
+                 phases: Phases = PAPER_PHASES,
+                 retry: Optional[RetryPolicy] = None):
         if n_users < 1:
             raise ValueError(f"n_users must be >= 1, got {n_users}")
         if think_time_mean <= 0:
@@ -79,13 +83,22 @@ class LoadGenerator:
         self.n_users = n_users
         self.think_time_mean = think_time_mean
         self.phases = phases
+        #: None reproduces the paper's driver exactly (one attempt, no
+        #: acquire bound); fault drills pass a policy so users survive
+        #: failover windows instead of burning every operation.
+        self.retry = retry
         #: (completion time, operation latency) for every operation.
         self.completions = TimeSeries()
         self.read_completions = TimeSeries()
         self.write_completions = TimeSeries()
         self.op_counts: Counter = Counter()
         self.errors = 0
+        self.retries = 0
+        self.pool_timeouts = 0
         self._started = False
+        #: The spawned user processes, so a drill (or test) can
+        #: interrupt individual users mid-run.
+        self.user_processes: list = []
         #: Sim time at which :meth:`start` was called; phase windows
         #: are relative to it.
         self.t0 = 0.0
@@ -99,7 +112,8 @@ class LoadGenerator:
         self.t0 = self.sim.now
         self.state.now_fn = lambda: self.sim.now
         for index in range(self.n_users):
-            self.sim.process(self._user(index), name=f"user-{index}")
+            self.user_processes.append(
+                self.sim.process(self._user(index), name=f"user-{index}"))
 
     def _user(self, index: int):
         rng = self.streams.spawn("cloudstone.user", index)
@@ -115,34 +129,67 @@ class LoadGenerator:
                 return
             operation = self.mix.pick(rng)
             statements = operation.build(self.state, rng)
+            policy = self.retry
+            attempts = policy.max_attempts if policy is not None else 1
+            acquire_timeout = policy.acquire_timeout \
+                if policy is not None else None
+            completed = False
+            latency = 0.0
             with self.sim.tracer.span("driver.request",
                                       category="driver",
                                       op=operation.name,
                                       user=index) as span:
-                connection = yield from self.pool.acquire()
-                started_at = self.sim.now
-                try:
-                    server = self.proxy.master if operation.is_write \
-                        else self.proxy.pick_read_server(session=index)
-                    for sql in statements:
-                        yield from self.proxy.execute(sql, server=server)
-                    if operation.is_write:
-                        self.proxy.note_write(index)
-                except DatabaseError:
-                    # A failed operation (server offline mid-failover,
-                    # rejected statement) must not kill the emulated
-                    # user: real Cloudstone drivers log the error and
-                    # keep generating load.  The finally below still
-                    # returns the connection, so pool.active drains
-                    # back to zero.
+                for attempt in range(attempts):
+                    failed = False
+                    try:
+                        connection = yield from self.pool.acquire(
+                            timeout=acquire_timeout)
+                    except PoolTimeout:
+                        self.pool_timeouts += 1
+                        failed = True
+                    else:
+                        started_at = self.sim.now
+                        try:
+                            server = self.proxy.master \
+                                if operation.is_write \
+                                else self.proxy.pick_read_server(
+                                    session=index)
+                            for sql in statements:
+                                yield from self.proxy.execute(
+                                    sql, server=server)
+                            if operation.is_write:
+                                self.proxy.note_write(index)
+                        except DatabaseError:
+                            # A failed operation (server offline
+                            # mid-failover, rejected statement) must
+                            # not kill the emulated user: real
+                            # Cloudstone drivers log the error and
+                            # keep generating load.  The finally below
+                            # still returns the connection, so
+                            # pool.active drains back to zero.
+                            failed = True
+                        finally:
+                            self.pool.release(connection)
+                    if not failed:
+                        completed = True
+                        latency = self.sim.now - started_at
+                        break
+                    if attempt + 1 < attempts:
+                        # Backoff happens with no connection held (it
+                        # was released above): an interrupt landing in
+                        # this sleep cannot leak a pool slot.
+                        self.retries += 1
+                        if self.sim.metrics.enabled:
+                            self.sim.metrics.counter(
+                                "driver.retries").inc()
+                        yield self.sim.timeout(
+                            policy.backoff_for(attempt, rng))
+                if not completed:
                     span.set_attribute("error", True)
                     self.errors += 1
-                    continue
-                finally:
-                    self.pool.release(connection)
-                latency = self.sim.now - started_at
-            operation.on_complete(self.state)
-            self._record(operation, latency)
+            if completed:
+                operation.on_complete(self.state)
+                self._record(operation, latency)
 
     def _record(self, operation, latency: float) -> None:
         now = self.sim.now

@@ -1,0 +1,1 @@
+"""Chaos-plane tests: fault schedules, injection, recovery drills."""

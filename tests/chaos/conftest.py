@@ -1,0 +1,42 @@
+"""Shared fixtures: a small live cluster to break."""
+
+import pytest
+
+from repro.cloud import Cloud, DEFAULT_CATALOG, MASTER_PLACEMENT
+from repro.replication import ReplicationManager
+from repro.sim import RandomStreams, Simulator
+
+EU_WEST = DEFAULT_CATALOG.placement("eu-west-1a")
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def cloud(sim):
+    return Cloud(sim, RandomStreams(321))
+
+
+@pytest.fixture
+def manager(sim, cloud):
+    # NTP daemons run forever and would keep a bare ``sim.run()`` from
+    # terminating (same convention as the replication fixtures).
+    return ReplicationManager(sim, cloud, ntp_period=None)
+
+
+@pytest.fixture
+def master(manager):
+    master = manager.create_master(MASTER_PLACEMENT)
+    master.admin("CREATE TABLE t (id INTEGER PRIMARY KEY "
+                 "AUTO_INCREMENT, v INTEGER)")
+    return master
+
+
+def run_process(sim, generator, until=None):
+    """Run a generator to completion and return its value."""
+    process = sim.process(generator)
+    sim.run(until=until)
+    assert process.triggered, "process did not finish"
+    return process.value

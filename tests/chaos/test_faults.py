@@ -1,0 +1,127 @@
+"""Fault and FaultSchedule: validation, ordering, seeded plans."""
+
+import pytest
+
+from repro.chaos import FAULT_KINDS, Fault, FaultSchedule
+from repro.sim import RandomStreams
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        Fault(at=1.0, kind="meteor")
+
+
+def test_negative_time_and_duration_rejected():
+    with pytest.raises(ValueError):
+        Fault(at=-1.0, kind="master-crash")
+    with pytest.raises(ValueError):
+        Fault(at=0.0, kind="partition", target="a|b", duration=-2.0)
+
+
+@pytest.mark.parametrize("kind", ["slave-crash", "slave-slow",
+                                  "repl-stall"])
+def test_slave_kinds_need_a_target(kind):
+    with pytest.raises(ValueError):
+        Fault(at=0.0, kind=kind, severity=0.5)
+
+
+def test_partition_target_must_name_two_regions():
+    with pytest.raises(ValueError):
+        Fault(at=0.0, kind="partition", target="us-east-1")
+
+
+def test_latency_needs_positive_severity():
+    with pytest.raises(ValueError):
+        Fault(at=0.0, kind="latency", target="a|b")
+
+
+@pytest.mark.parametrize("severity", [0.0, 1.5, -0.2])
+def test_slave_slow_severity_is_a_speed_factor(severity):
+    with pytest.raises(ValueError):
+        Fault(at=0.0, kind="slave-slow", target="s1", severity=severity)
+
+
+def test_regions_property():
+    fault = Fault(at=0.0, kind="partition", target="us-east-1|eu-west-1",
+                  duration=1.0)
+    assert fault.regions == ("us-east-1", "eu-west-1")
+    everywhere = Fault(at=0.0, kind="latency", target="*", severity=50.0)
+    assert everywhere.regions == ()
+
+
+def test_schedule_sorts_and_reports_horizon():
+    schedule = FaultSchedule([
+        Fault(at=30.0, kind="master-crash"),
+        Fault(at=5.0, kind="slave-slow", target="s1", duration=40.0,
+              severity=0.5),
+    ])
+    assert [fault.at for fault in schedule] == [5.0, 30.0]
+    assert schedule.horizon == 45.0
+    assert FaultSchedule([]).horizon == 0.0
+
+
+def test_timeline_renders_every_fault():
+    schedule = FaultSchedule([
+        Fault(at=1.5, kind="partition", target="a|b", duration=2.0),
+        Fault(at=9.0, kind="latency", target="*", duration=3.0,
+              severity=120.0),
+    ])
+    lines = schedule.timeline().splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("t=+00001.500s")
+    assert "partition" in lines[0] and "for 2.0s" in lines[0]
+    assert "extra_ms=120" in lines[1]
+
+
+def _plan(seed, **overrides):
+    kwargs = dict(horizon=100.0, slaves=["s1", "s2"],
+                  region_pairs=[("us-east-1", "eu-west-1")],
+                  n_faults=6, include_master_crash=True)
+    kwargs.update(overrides)
+    return FaultSchedule.random_plan(RandomStreams(seed), **kwargs)
+
+
+def test_random_plan_same_seed_is_identical():
+    first, second = _plan(7), _plan(7)
+    assert first.timeline() == second.timeline()
+    assert first.digest() == second.digest()
+
+
+def test_random_plan_different_seed_differs():
+    assert _plan(7).digest() != _plan(8).digest()
+
+
+def test_random_plan_respects_bounds():
+    schedule = _plan(11, n_faults=10)
+    crashes = [fault for fault in schedule
+               if fault.kind == "master-crash"]
+    assert len(crashes) == 1 and crashes[0].at == 80.0
+    for fault in schedule:
+        assert fault.kind in FAULT_KINDS
+        if fault.kind != "master-crash":
+            assert fault.at <= 70.0
+    schedule.validate_targets(["s1", "s2"],
+                              region_names=["us-east-1", "eu-west-1"])
+
+
+def test_random_plan_validations():
+    with pytest.raises(ValueError):
+        _plan(1, horizon=0.0)
+    with pytest.raises(ValueError):
+        _plan(1, slaves=[])
+
+
+def test_validate_targets_rejects_unknown_slave():
+    schedule = FaultSchedule([Fault(at=0.0, kind="slave-slow",
+                                    target="ghost", severity=0.5)])
+    with pytest.raises(ValueError):
+        schedule.validate_targets(["s1"])
+
+
+def test_validate_targets_rejects_unknown_region():
+    schedule = FaultSchedule([Fault(at=0.0, kind="partition",
+                                    target="mars|venus", duration=1.0)])
+    with pytest.raises(ValueError):
+        schedule.validate_targets(["s1"], region_names=["us-east-1"])
+    # Without region names the link targets are not checked.
+    schedule.validate_targets(["s1"])

@@ -218,3 +218,109 @@ def test_interrupted_acquire_does_not_lose_pool_slot(sim):
     assert order == ["held", "interrupted", "late-acquired"]
     assert pool.active == 0
     assert pool.waiting == 0
+
+
+def test_pool_acquire_timeout_raises_and_frees_slot(sim):
+    """A bounded acquire that times out must raise PoolTimeout and
+    cancel its claim — the slot goes to the next waiter, not into
+    the void."""
+    from repro.replication import PoolTimeout
+
+    pool = ConnectionPool(sim, max_active=1)
+    order = []
+
+    def holder(sim, pool):
+        conn = yield from pool.acquire()
+        yield sim.timeout(5.0)
+        pool.release(conn)
+
+    def impatient(sim, pool):
+        try:
+            yield from pool.acquire(timeout=2.0)
+        except PoolTimeout:
+            order.append(("timed-out", sim.now))
+            return
+        order.append(("acquired", sim.now))  # pragma: no cover
+
+    def patient(sim, pool):
+        conn = yield from pool.acquire()
+        order.append(("patient-acquired", sim.now))
+        pool.release(conn)
+
+    sim.process(holder(sim, pool))
+    sim.process(impatient(sim, pool))
+    sim.process(patient(sim, pool))
+    sim.run()
+    assert order == [("timed-out", 2.0), ("patient-acquired", 5.0)]
+    assert pool.timeouts == 1
+    assert pool.active == 0
+    assert pool.waiting == 0
+
+
+def test_pool_acquire_timeout_unused_when_granted_in_time(sim):
+    pool = ConnectionPool(sim, max_active=1)
+    done = []
+
+    def user(sim, pool):
+        conn = yield from pool.acquire(timeout=10.0)
+        yield sim.timeout(1.0)
+        pool.release(conn)
+        done.append(sim.now)
+
+    sim.process(user(sim, pool))
+    sim.process(user(sim, pool))
+    sim.run()
+    assert done == [1.0, 2.0]
+    assert pool.timeouts == 0
+    assert pool.active == 0
+
+
+def test_retry_loop_interrupted_during_backoff_leaks_nothing(sim):
+    """Regression for the driver's retry loop: by the time a borrower
+    sleeps its backoff, the connection is already released, so an
+    interrupt landing in that sleep must leave the pool whole."""
+    from repro.db.errors import DatabaseError
+    from repro.replication import RetryPolicy
+    from repro.sim import Interrupt
+
+    policy = RetryPolicy(max_attempts=3, base_backoff=4.0,
+                         multiplier=1.0, jitter=0.0)
+    pool = ConnectionPool(sim, max_active=1)
+    order = []
+
+    def flaky_user(sim, pool):
+        # The driver's shape: acquire, fail, release in finally,
+        # back off, retry.
+        try:
+            for attempt in range(policy.max_attempts):
+                connection = yield from pool.acquire()
+                try:
+                    raise DatabaseError("injected")
+                except DatabaseError:
+                    pass
+                finally:
+                    pool.release(connection)
+                yield sim.timeout(policy.backoff_for(attempt))
+        except Interrupt:
+            order.append(("interrupted", sim.now))
+            return
+
+    victim = sim.process(flaky_user(sim, pool))
+
+    def assassin(sim, victim):
+        yield sim.timeout(2.0)  # mid-backoff: no connection held
+        assert pool.active == 0
+        victim.interrupt()
+
+    def late_user(sim, pool):
+        yield sim.timeout(3.0)
+        conn = yield from pool.acquire()
+        order.append(("late-acquired", sim.now))
+        pool.release(conn)
+
+    sim.process(assassin(sim, victim))
+    sim.process(late_user(sim, pool))
+    sim.run()
+    assert order == [("interrupted", 2.0), ("late-acquired", 3.0)]
+    assert pool.active == 0
+    assert pool.waiting == 0

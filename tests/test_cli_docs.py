@@ -1,0 +1,53 @@
+"""docs/CLI.md must stay in lockstep with the actual CLI."""
+
+import re
+from pathlib import Path
+
+from repro.cli import build_parser
+
+DOCS = Path(__file__).resolve().parent.parent / "docs" / "CLI.md"
+
+
+def cli_subcommands():
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:
+        return set(action.choices)
+    raise AssertionError("CLI has no subparsers")
+
+
+def documented_subcommands():
+    text = DOCS.read_text(encoding="utf-8")
+    # The summary table rows: | [`name`](#anchor) | ... |
+    return set(re.findall(r"^\| \[`(\w+)`\]", text, flags=re.M))
+
+
+def test_docs_exist():
+    assert DOCS.is_file()
+
+
+def test_every_subcommand_is_documented():
+    missing = cli_subcommands() - documented_subcommands()
+    assert not missing, f"undocumented subcommands: {sorted(missing)}"
+
+
+def test_no_stale_documented_subcommands():
+    stale = documented_subcommands() - cli_subcommands()
+    assert not stale, f"documented but gone: {sorted(stale)}"
+
+
+def test_documented_usage_lines_match_parser():
+    """Each ``usage: repro <cmd>`` block in the docs names a real
+    subcommand, and every flag it shows exists on that subparser."""
+    text = DOCS.read_text(encoding="utf-8")
+    parser = build_parser()
+    choices = None
+    for action in parser._subparsers._group_actions:
+        choices = action.choices
+    for match in re.finditer(r"usage: repro (\w+)((?:.|\n)*?)```", text):
+        name, body = match.group(1), match.group(2)
+        assert name in choices, name
+        known = {option
+                 for action in choices[name]._actions
+                 for option in action.option_strings}
+        for flag in re.findall(r"(--[a-z-]+)", body):
+            assert flag in known, f"{name}: unknown flag {flag}"

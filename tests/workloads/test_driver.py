@@ -167,6 +167,66 @@ class FlakyProxy:
         return result
 
 
+class DeadProxy:
+    """Every statement fails instantly — a cluster mid-outage."""
+
+    def __init__(self, sim, proxy):
+        self._sim = sim
+        self._proxy = proxy
+
+    def __getattr__(self, name):
+        return getattr(self._proxy, name)
+
+    def execute(self, statement, params=None, server=None):
+        from repro.db.errors import DatabaseError
+        yield self._sim.timeout(0.0)
+        raise DatabaseError("cluster down")
+
+
+def test_interrupting_user_during_backoff_leaks_no_pool_slot():
+    """Regression: the driver releases its connection *before* the
+    retry backoff sleep, so interrupting a user parked in backoff
+    must leave the pool whole (active drains to zero and a later
+    borrower still gets the slot)."""
+    from repro.replication import RetryPolicy
+    from repro.sim import Interrupt
+
+    sim, streams, manager, proxy, pool, state = build_rig(seed=30)
+    policy = RetryPolicy(max_attempts=5, base_backoff=30.0,
+                         multiplier=1.0, jitter=0.0)
+    generator = LoadGenerator(sim, DeadProxy(sim, proxy), pool, MIX_50_50,
+                              state, streams, n_users=1,
+                              think_time_mean=0.001,
+                              phases=Phases(ramp_up=0.0, steady=200.0,
+                                            ramp_down=0.0),
+                              retry=policy)
+    generator.start()
+    victim = generator.user_processes[0]
+    victim.defuse()  # the Interrupt below is intentionally unhandled
+
+    def assassin(sim, victim):
+        # First operation fails within milliseconds; by t=10 the user
+        # is deep in its 30 s backoff with no connection held.
+        yield sim.timeout(10.0)
+        assert pool.active == 0
+        victim.interrupt()
+
+    def late_user(sim, pool):
+        yield sim.timeout(20.0)
+        conn = yield from pool.acquire()
+        pool.release(conn)
+        return sim.now
+
+    sim.process(assassin(sim, victim))
+    late = sim.process(late_user(sim, pool))
+    sim.run(until=50.0)
+    assert victim.triggered  # the interrupt killed the user
+    assert late.value == 20.0  # slot immediately available
+    assert pool.active == 0
+    assert pool.waiting == 0
+    assert generator.retries >= 1
+
+
 def test_failing_operation_releases_connection_and_user_survives():
     """Regression: a DatabaseError mid-operation must not leak the
     pooled connection (pool.active drains to 0) nor kill the emulated
