@@ -17,6 +17,9 @@ hold everywhere in ``src/repro/``:
   per-function CFG (:mod:`repro.analysis.flow`) that pool
   connections, resource claims and transactions are released /
   committed on *every* path, exception edges included.
+* **Yield-point atomicity** (RACE rules, :mod:`repro.analysis.race`):
+  interprocedural proofs that no process acts on shared state it read
+  before a preemption point — ``python -m repro racecheck``.
 
 Nothing in the runtime enforces these invariants, so refactors could
 silently break reproducibility; ``python -m repro lint`` (and the
@@ -25,9 +28,9 @@ silently break reproducibility; ``python -m repro lint`` (and the
 
 from .config import DEFAULT_CONFIG, LintConfig, load_config
 from .findings import Finding
-from .runner import (LintStats, format_findings_json,
+from .runner import (LintStats, SourceCache, format_findings_json,
                      format_findings_text, lint_file, lint_paths,
-                     lint_source)
+                     lint_source, racecheck_paths)
 from .sarif import format_findings_sarif
 from .visitor import LintContext, Rule, all_rules
 
@@ -39,10 +42,12 @@ __all__ = [
     "Rule",
     "LintContext",
     "LintStats",
+    "SourceCache",
     "all_rules",
     "lint_source",
     "lint_file",
     "lint_paths",
+    "racecheck_paths",
     "format_findings_text",
     "format_findings_json",
     "format_findings_sarif",

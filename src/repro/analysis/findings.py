@@ -21,16 +21,22 @@ class Finding:
     rule_id: str     # e.g. "DET001"
     message: str     # what is wrong, with the offending expression
     hint: str = ""   # how to fix it
+    #: extra ``(path, line, column, message)`` locations — the RACE
+    #: rules attach the stale read and the yield it crossed, rendered
+    #: by sarif.py as relatedLocations.
+    related: tuple = ()
 
     def render(self) -> str:
         text = f"{self.path}:{self.line}:{self.column}: " \
                f"{self.rule_id} {self.message}"
         if self.hint:
             text += f" [hint: {self.hint}]"
+        for rpath, rline, rcol, rmessage in self.related:
+            text += f"\n    {rpath}:{rline}:{rcol}: {rmessage}"
         return text
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "path": self.path,
             "line": self.line,
             "column": self.column,
@@ -38,3 +44,9 @@ class Finding:
             "message": self.message,
             "hint": self.hint,
         }
+        if self.related:
+            payload["related"] = [
+                {"path": rpath, "line": rline, "column": rcol,
+                 "message": rmessage}
+                for rpath, rline, rcol, rmessage in self.related]
+        return payload

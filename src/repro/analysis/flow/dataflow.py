@@ -19,6 +19,16 @@ Two refinements matter for resource-pairing proofs:
   sets only grow, so the worklist terminates in
   O(edges × facts) joins regardless of visit order, and the fixpoint
   is order-independent (the transfer is monotone and distributive).
+
+A third, optional ingredient serves flow-*rewriting* analyses (the
+RACE rules in :mod:`..race.rules`): :meth:`DataflowProblem.transform`
+maps the surviving facts at a node to new facts — e.g. marking every
+fact that flows through a yield point as "crossed a preemption".  The
+transform applies on *both* edge kinds: an interrupt is thrown into a
+process at its yield, so a fact leaving a yield node along the
+exception edge crossed the preemption just the same.  For convergence
+the transform must be monotone and idempotent on the fact set (flag
+flips are; arbitrary rewrites are not).
 """
 
 from __future__ import annotations
@@ -47,6 +57,14 @@ class DataflowProblem:
     def kill(self, node: CFGNode, facts: frozenset) -> frozenset:
         return frozenset()
 
+    def transform(self, node: CFGNode, facts: frozenset) -> frozenset:
+        """Rewrite the facts surviving ``node`` (identity by default).
+
+        Runs after :meth:`kill` and before :meth:`gen`, on both the
+        normal and the exception out-edges.  Must be monotone and
+        idempotent (e.g. setting a flag on each fact)."""
+        return facts
+
     def initial(self) -> frozenset:
         """Facts live at function entry (usually none)."""
         return frozenset()
@@ -71,6 +89,7 @@ class DataflowResult:
         """Facts live on an out-edge of ``node`` of the given kind."""
         survivors = self.entering(node) - self._problem.kill(
             node, self.entering(node))
+        survivors = self._problem.transform(node, survivors)
         if edge_kind == "exception":
             return survivors
         return survivors | self._problem.gen(node)
@@ -112,6 +131,7 @@ def solve_forward(cfg: ControlFlowGraph,
         node = cfg.nodes[index]
         facts_in = entering.get(index, frozenset())
         survivors = facts_in - problem.kill(node, facts_in)
+        survivors = problem.transform(node, survivors)
         out_normal = survivors | problem.gen(node)
         for succ, kind in cfg.successors(node):
             flowing = survivors if kind == "exception" else out_normal

@@ -43,7 +43,8 @@ from .dataflow import DataflowProblem, solve_forward
 
 __all__ = ["PoolAcquireLeakRule", "ResourceRequestLeakRule",
            "TransactionLeakRule", "UnreachableYieldRule",
-           "HandleEscapeRule", "SpanLeakRule", "RULES"]
+           "HandleEscapeRule", "SpanLeakRule", "RULES", "cached_cfg",
+           "function_cfg"]
 
 
 @dataclass(frozen=True)
@@ -56,14 +57,34 @@ class Claim:
     desc: str
 
 
+#: Process-wide CFG memo shared by every rule family (FLW and RACE),
+#: so ``repro lint`` + ``repro racecheck`` build each function's CFG
+#: once per parse.  Keyed by ``id(function)`` with the function node
+#: pinned in the value: the parsed trees live in the runner's source
+#: cache, so ids stay valid; the identity check guards against id
+#: reuse after a tree is dropped, and the size cap bounds memory on
+#: huge one-shot runs.
+_CFG_CACHE: dict[int, tuple] = {}
+_CFG_CACHE_MAX = 8192
+
+
+def cached_cfg(function: FunctionNode) -> ControlFlowGraph:
+    """The (memoized) control-flow graph of ``function``."""
+    entry = _CFG_CACHE.get(id(function))
+    if entry is not None and entry[0] is function:
+        return entry[1]
+    if len(_CFG_CACHE) >= _CFG_CACHE_MAX:
+        _CFG_CACHE.clear()
+    cfg = build_cfg(function)
+    _CFG_CACHE[id(function)] = (function, cfg)
+    return cfg
+
+
 def function_cfg(context: LintContext,
                  function: FunctionNode) -> ControlFlowGraph:
-    """Per-file memo so the five FLW rules build each CFG once."""
-    cache = context.cache.setdefault("flow.cfg", {})
-    key = id(function)
-    if key not in cache:
-        cache[key] = build_cfg(function)
-    return cache[key]
+    """The FLW rules' accessor, kept for API compatibility; the memo
+    is now process-wide (see :data:`_CFG_CACHE`)."""
+    return cached_cfg(function)
 
 
 # ------------------------------------------------------- AST matchers

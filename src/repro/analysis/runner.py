@@ -14,8 +14,9 @@ from .config import DEFAULT_CONFIG, LintConfig
 from .findings import Finding
 from .visitor import LintContext, Rule, all_rules
 
-__all__ = ["LintStats", "lint_source", "lint_file", "lint_paths",
-           "format_findings_text", "format_findings_json"]
+__all__ = ["LintStats", "SourceCache", "lint_source", "lint_file",
+           "lint_paths", "racecheck_paths", "format_findings_text",
+           "format_findings_json"]
 
 
 @dataclass
@@ -31,6 +32,11 @@ class LintStats:
     findings_per_rule: Counter = field(default_factory=Counter)
     seconds_per_rule: dict = field(default_factory=dict)
     total_seconds: float = 0.0
+    #: parse-cache accounting: files parsed fresh vs trees reused.
+    #: Lint and racecheck share one :class:`SourceCache`, so running
+    #: both in one process parses each file exactly once.
+    parses: int = 0
+    parse_reuses: int = 0
 
     def observe(self, rule_id: str, findings: int,
                 seconds: float) -> None:
@@ -42,12 +48,70 @@ class LintStats:
         lines = [f"simlint stats: {self.files} file"
                  f"{'s' if self.files != 1 else ''}, "
                  f"{self.total_seconds * 1000:.0f} ms total"]
+        lines.append(f"  parse cache: {self.parses} parsed, "
+                     f"{self.parse_reuses} reused")
         for rule_id in sorted(self.seconds_per_rule):
             lines.append(
                 f"  {rule_id}: {self.findings_per_rule[rule_id]} "
                 f"finding{'s' if self.findings_per_rule[rule_id] != 1 else ''}"
                 f", {self.seconds_per_rule[rule_id] * 1000:.1f} ms")
         return "\n".join(lines)
+
+
+class SourceCache:
+    """Parsed sources shared across rule families.
+
+    Lint, flow and racecheck all need the same files' ASTs; racecheck
+    additionally needs its project model's trees to be *the same
+    objects* linting later visits (its node lookups are by identity).
+    The cache keys on path and validates with a stat signature, so a
+    file edited between runs re-parses while everything else reuses
+    the tree from the first pass.
+    """
+
+    def __init__(self):
+        self._entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _signature(path: str):
+        status = os.stat(path)
+        return status.st_mtime_ns, status.st_size
+
+    def load(self, path: str):
+        """``(source, tree | None, error | None)`` for ``path``; the
+        ``error`` is a ready-to-emit PARSE :class:`Finding`."""
+        try:
+            signature = self._signature(path)
+        except OSError:
+            signature = None
+        entry = self._entries.get(path)
+        if entry is not None and entry[0] == signature \
+                and signature is not None:
+            self.hits += 1
+            return entry[1], entry[2], entry[3]
+        self.misses += 1
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        tree, error = None, None
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            error = Finding(path, exc.lineno or 1, exc.offset or 0,
+                            "PARSE",
+                            f"file does not parse: {exc.msg}")
+        self._entries[path] = (signature, source, tree, error)
+        return source, tree, error
+
+    def loader(self, path: str):
+        """Adapter matching ``build_project_model``'s loader hook."""
+        source, tree, _error = self.load(path)
+        return source, tree
+
+
+#: The process-wide cache every entry point shares.
+_SOURCE_CACHE = SourceCache()
 
 
 def _enabled_rules(config: LintConfig, rules: Optional[Sequence[Rule]],
@@ -63,14 +127,20 @@ def _enabled_rules(config: LintConfig, rules: Optional[Sequence[Rule]],
 def lint_source(source: str, path: str = "<string>",
                 config: LintConfig = DEFAULT_CONFIG,
                 rules: Optional[Sequence[Rule]] = None,
-                stats: Optional[LintStats] = None) -> list[Finding]:
+                stats: Optional[LintStats] = None,
+                tree: Optional[ast.Module] = None) -> list[Finding]:
     """Lint one file's text; ``path`` is used in findings, for the
-    per-path ignores and for the SQL-exclusion patterns."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as error:
-        return [Finding(path, error.lineno or 1, error.offset or 0,
-                        "PARSE", f"file does not parse: {error.msg}")]
+    per-path ignores and for the SQL-exclusion patterns.  Pass a
+    pre-parsed ``tree`` to skip the parse (the cache does)."""
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            return [Finding(path, error.lineno or 1, error.offset or 0,
+                            "PARSE",
+                            f"file does not parse: {error.msg}")]
+        if stats is not None:
+            stats.parses += 1
     context = LintContext(path, source, tree, config)
     if stats is not None:
         stats.files += 1
@@ -89,9 +159,17 @@ def lint_source(source: str, path: str = "<string>",
 def lint_file(path: str, config: LintConfig = DEFAULT_CONFIG,
               rules: Optional[Sequence[Rule]] = None,
               stats: Optional[LintStats] = None) -> list[Finding]:
-    with open(path, "r", encoding="utf-8") as handle:
-        return lint_source(handle.read(), path=path, config=config,
-                           rules=rules, stats=stats)
+    hits_before = _SOURCE_CACHE.hits
+    source, tree, error = _SOURCE_CACHE.load(path)
+    if stats is not None:
+        if _SOURCE_CACHE.hits > hits_before:
+            stats.parse_reuses += 1
+        elif error is None:
+            stats.parses += 1
+    if error is not None:
+        return [error]
+    return lint_source(source, path=path, config=config,
+                       rules=rules, stats=stats, tree=tree)
 
 
 def _python_files(path: str) -> Iterable[str]:
@@ -129,11 +207,57 @@ def lint_paths(paths: Optional[Iterable[str]] = None,
     return sorted(findings)
 
 
-def format_findings_text(findings: Sequence[Finding]) -> str:
+def racecheck_paths(paths: Optional[Iterable[str]] = None,
+                    config: LintConfig = DEFAULT_CONFIG,
+                    stats: Optional[LintStats] = None) -> list[Finding]:
+    """Run the interprocedural RACE rules over ``paths``.
+
+    Builds one project-wide model (call graph, yield summaries,
+    shared-state inventory) across every file, then checks each file
+    with the RACE001–RACE005 rules.  Parses are shared with
+    :func:`lint_paths` through the process-wide :class:`SourceCache`,
+    so ``lint`` + ``racecheck`` in one process is a single parse pass.
+    """
+    from .race import build_project_model, race_rules
+
+    started = time.perf_counter()  # simlint: disable=DET001
+    filenames = [
+        filename
+        for path in (paths if paths is not None else config.paths)
+        for filename in _python_files(path)]
+    misses_before = _SOURCE_CACHE.misses
+    model = build_project_model(filenames,
+                                loader=_SOURCE_CACHE.loader)
+    if stats is not None:
+        stats.parses += _SOURCE_CACHE.misses - misses_before
+    rules = race_rules(model)
+    findings: list[Finding] = []
+    for filename in filenames:
+        hits_before = _SOURCE_CACHE.hits
+        source, tree, error = _SOURCE_CACHE.load(filename)
+        if stats is not None:
+            if _SOURCE_CACHE.hits > hits_before:
+                stats.parse_reuses += 1
+            elif error is None:
+                stats.parses += 1
+        if error is not None:
+            findings.append(error)
+            continue
+        findings.extend(lint_source(source, path=filename,
+                                    config=config, rules=rules,
+                                    stats=stats, tree=tree))
+    if stats is not None:
+        stats.total_seconds = \
+            time.perf_counter() - started  # simlint: disable=DET001
+    return sorted(findings)
+
+
+def format_findings_text(findings: Sequence[Finding],
+                         tool: str = "simlint") -> str:
     if not findings:
-        return "simlint: no findings"
+        return f"{tool}: no findings"
     lines = [finding.render() for finding in findings]
-    lines.append(f"simlint: {len(findings)} finding"
+    lines.append(f"{tool}: {len(findings)} finding"
                  f"{'s' if len(findings) != 1 else ''}")
     return "\n".join(lines)
 

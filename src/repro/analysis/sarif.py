@@ -45,6 +45,19 @@ def _rule_descriptor(rule: Rule) -> dict:
     return descriptor
 
 
+def _physical_location(path: str, line: int, column: int) -> dict:
+    return {
+        "artifactLocation": {
+            "uri": _artifact_uri(path),
+            "uriBaseId": "%SRCROOT%",
+        },
+        "region": {
+            "startLine": max(line, 1),
+            "startColumn": column + 1,
+        },
+    }
+
+
 def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
     message = finding.message
     if finding.hint:
@@ -54,18 +67,18 @@ def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
         "level": "error",
         "message": {"text": message},
         "locations": [{
-            "physicalLocation": {
-                "artifactLocation": {
-                    "uri": _artifact_uri(finding.path),
-                    "uriBaseId": "%SRCROOT%",
-                },
-                "region": {
-                    "startLine": max(finding.line, 1),
-                    "startColumn": finding.column + 1,
-                },
-            },
+            "physicalLocation": _physical_location(
+                finding.path, finding.line, finding.column),
         }],
     }
+    if finding.related:
+        # The RACE rules carry both halves of a race (the stale read
+        # and the yield it crossed); code scanning renders these as
+        # secondary annotations on the same alert.
+        result["relatedLocations"] = [{
+            "physicalLocation": _physical_location(rpath, rline, rcol),
+            "message": {"text": rmessage},
+        } for rpath, rline, rcol, rmessage in finding.related]
     if finding.rule_id in rule_index:
         result["ruleIndex"] = rule_index[finding.rule_id]
     return result

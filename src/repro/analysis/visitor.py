@@ -39,14 +39,14 @@ class LintContext:
         self.module_constants = _module_string_constants(tree)
 
     def report(self, node: ast.AST, rule_id: str, message: str,
-               hint: str = "") -> None:
+               hint: str = "", related: tuple = ()) -> None:
         """Record a finding unless the line suppresses the rule."""
         line = getattr(node, "lineno", 1)
         column = getattr(node, "col_offset", 0)
         if self.is_suppressed(line, rule_id):
             return
         self.findings.append(Finding(self.path, line, column, rule_id,
-                                     message, hint))
+                                     message, hint, tuple(related)))
 
     def is_suppressed(self, line: int, rule_id: str) -> bool:
         rules = self._suppressions.get(line)

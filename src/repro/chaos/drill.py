@@ -162,8 +162,13 @@ class FailoverController:
                 with self.sim.tracer.span(
                         "chaos.failover", category="chaos",
                         track="chaos", candidate=candidate.name):
-                    new_master = yield from promote(self.manager,
-                                                    candidate)
+                    try:
+                        new_master = yield from promote(self.manager,
+                                                        candidate)
+                    except DatabaseError:
+                        # The candidate died (or the cluster changed)
+                        # while draining; next poll picks a fresh one.
+                        continue
                     self.proxy.set_master(new_master)
                 lost = data_loss_window(dead, candidate)
                 self.failovers.append({
@@ -363,16 +368,24 @@ def _build_report(config: DrillConfig, schedule: FaultSchedule,
 
 
 def run_drill(config: DrillConfig = DrillConfig(),
-              observe: Optional[Observability] = None) -> DrillResult:
+              observe: Optional[Observability] = None,
+              sanitizer=None) -> DrillResult:
     """Execute one fault drill; deterministic per ``config.seed``.
 
     Mirrors ``run_experiment``'s timeline (baseline phase span, then a
     workload phase span carrying the analyze plane's window
     attributes) so ``repro analyze`` works on drill traces unchanged.
+
+    Pass a :class:`~repro.analysis.race.RaceSanitizer` to watch the
+    drill's shared surfaces for stale write-backs; like observation,
+    instrumentation is read-only — the recovery report is
+    byte-identical with or without it (when no race fires).
     """
     sim = Simulator()
     if observe is not None:
         observe.attach(sim)
+    if sanitizer is not None:
+        sanitizer.attach(sim)
     streams = RandomStreams(config.seed)
     cloud = Cloud(sim, streams)
     manager = ReplicationManager(sim, cloud, ntp_period=1.0)
@@ -400,6 +413,10 @@ def run_drill(config: DrillConfig = DrillConfig(),
 
     proxy = manager.build_proxy(MASTER_PLACEMENT)
     pool = ConnectionPool(sim, max_active=config.n_users)
+    if sanitizer is not None:
+        from ..analysis.race import instrument_cluster
+        instrument_cluster(sanitizer, pool=pool, proxy=proxy,
+                           manager=manager)
     generator = LoadGenerator(sim, proxy, pool, MIX_50_50, state,
                               streams, n_users=config.n_users,
                               think_time_mean=config.think_time_mean,

@@ -134,6 +134,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="text",
                        help="json prints one machine-readable document "
                             "(cell, results, artifact paths, profile)")
+    trace.add_argument("--sanitize", action="store_true",
+                       help="run with the sim-time race sanitizer "
+                            "attached; exit 1 on any stale write-back")
     trace.set_defaults(handler=_run_trace)
 
     analyze = sub.add_parser(
@@ -173,6 +176,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="text",
                        help="json prints the canonical recovery "
                             "report (byte-identical per seed)")
+    chaos.add_argument("--sanitize", action="store_true",
+                       help="attach the sim-time race sanitizer; the "
+                            "summary goes to stderr so stdout stays "
+                            "byte-identical; exit 1 on any report")
     chaos.set_defaults(handler=_run_chaos)
 
     lint = sub.add_parser(
@@ -197,6 +204,23 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print per-rule finding counts and "
                            "wall-time (to stderr for json/sarif)")
     lint.set_defaults(handler=_run_lint)
+
+    racecheck = sub.add_parser(
+        "racecheck", help="simrace: interprocedural yield-point "
+                          "atomicity analysis (RACE001-RACE005)")
+    racecheck.add_argument("paths", nargs="*",
+                           help="files or directories (default: the "
+                                "[tool.simlint] paths)")
+    racecheck.add_argument("--format",
+                           choices=("text", "json", "sarif"),
+                           default="text",
+                           help="sarif carries both race locations "
+                                "as relatedLocations")
+    racecheck.add_argument("--stats", action="store_true",
+                           help="print per-rule finding counts, "
+                                "wall-time and parse-cache reuse "
+                                "(to stderr for json/sarif)")
+    racecheck.set_defaults(handler=_run_racecheck)
 
     return parser
 
@@ -289,7 +313,7 @@ def _run_cell(args) -> str:
     ])
 
 
-def _run_trace(args) -> str:
+def _run_trace(args):
     import json
 
     from .obs import Observability
@@ -299,7 +323,12 @@ def _run_trace(args) -> str:
                      profile.phases, seed=args.seed,
                      baseline_duration=profile.baseline_duration)
     observe = Observability(monitor_period=args.monitor_period)
-    result = run_experiment(config, observe=observe)
+    sanitizer = None
+    if args.sanitize:
+        from .analysis.race import RaceSanitizer
+        sanitizer = RaceSanitizer()
+    result = run_experiment(config, observe=observe,
+                            sanitizer=sanitizer)
     paths = observe.write_artifacts(args.out)
     if args.format == "json":
         document = {
@@ -320,8 +349,12 @@ def _run_trace(args) -> str:
             "droppedSpans": observe.tracer.dropped,
             "profile": observe.profiler.snapshot(),
         }
-        return json.dumps(document, sort_keys=True,
-                          separators=(",", ":"))
+        if sanitizer is not None:
+            document["race"] = sanitizer.summary()
+        return (json.dumps(document, sort_keys=True,
+                           separators=(",", ":")),
+                1 if sanitizer is not None and sanitizer.reports
+                else 0)
     delay = (f"{result.relative_delay_ms:.1f} ms"
              if result.relative_delay_ms is not None else "n/a")
     lines = [
@@ -334,7 +367,16 @@ def _run_trace(args) -> str:
     lines.extend(f"wrote {paths[name]}" for name in sorted(paths))
     lines.append("")
     lines.append(observe.render_profile())
-    return "\n".join(lines)
+    code = 0
+    if sanitizer is not None:
+        lines.append("")
+        lines.append(f"race sanitizer: {len(sanitizer.reports)} "
+                     f"report"
+                     f"{'s' if len(sanitizer.reports) != 1 else ''}")
+        lines.extend(f"  {report.render()}"
+                     for report in sanitizer.reports)
+        code = 1 if sanitizer.reports else 0
+    return "\n".join(lines), code
 
 
 def _run_analyze(args):
@@ -377,7 +419,11 @@ def _run_chaos(args):
     config = DrillConfig(seed=args.seed, n_users=args.users,
                          n_slaves=args.slaves, schedule=schedule)
     observe = Observability(monitor_period=None)
-    result = run_drill(config, observe=observe)
+    sanitizer = None
+    if args.sanitize:
+        from .analysis.race import RaceSanitizer
+        sanitizer = RaceSanitizer()
+    result = run_drill(config, observe=observe, sanitizer=sanitizer)
     if args.out:
         paths = observe.write_artifacts(args.out)
         import os
@@ -387,14 +433,25 @@ def _run_chaos(args):
                       separators=(",", ":"))
             handle.write("\n")
         paths["recovery.json"] = report_path
+    code = 0
+    if sanitizer is not None:
+        # Stderr, so stdout stays byte-identical to an unsanitized
+        # run — the CI sanitizer-smoke gate diffs the two.
+        import sys
+        print(f"race sanitizer: {len(sanitizer.reports)} report"
+              f"{'s' if len(sanitizer.reports) != 1 else ''}",
+              file=sys.stderr)
+        for report in sanitizer.reports:
+            print(f"  {report.render()}", file=sys.stderr)
+        code = 1 if sanitizer.reports else 0
     if args.format == "json":
-        return json.dumps(result.report, sort_keys=True,
-                          separators=(",", ":"))
+        return (json.dumps(result.report, sort_keys=True,
+                           separators=(",", ":")), code)
     text = render_report_text(result.report)
     if args.out:
         text += "\n" + "\n".join(
             f"wrote {paths[name]}" for name in sorted(paths))
-    return text
+    return text, code
 
 
 def _split_rule_lists(values: Optional[Sequence[str]]) -> list[str]:
@@ -440,6 +497,35 @@ def _run_lint(args) -> tuple[str, int]:
             text = f"{text}\n{stats.render()}"
         else:
             # Keep stdout a valid JSON/SARIF document.
+            print(stats.render(), file=sys.stderr)
+    return text, (1 if findings else 0)
+
+
+def _run_racecheck(args) -> tuple[str, int]:
+    import sys
+
+    from .analysis import (LintStats, format_findings_json,
+                           format_findings_sarif, format_findings_text,
+                           load_config, racecheck_paths)
+    from .analysis.race.rules import RACE_RULES
+    config = load_config(".")
+    stats = LintStats() if args.stats else None
+    try:
+        findings = racecheck_paths(args.paths or None, config=config,
+                                   stats=stats)
+    except FileNotFoundError as error:
+        return f"simrace: error: {error}", 2
+    if args.format == "json":
+        text = format_findings_json(findings)
+    elif args.format == "sarif":
+        text = format_findings_sarif(
+            findings, rules=[cls() for cls in RACE_RULES])
+    else:
+        text = format_findings_text(findings, tool="simrace")
+    if stats is not None:
+        if args.format == "text":
+            text = f"{text}\n{stats.render()}"
+        else:
             print(stats.render(), file=sys.stderr)
     return text, (1 if findings else 0)
 

@@ -86,17 +86,21 @@ class ExperimentResult:
 
 
 def run_experiment(config: ExperimentConfig,
-                   observe: Optional[Observability] = None
-                   ) -> ExperimentResult:
+                   observe: Optional[Observability] = None,
+                   sanitizer=None) -> ExperimentResult:
     """Execute one cell and return its measurements.
 
     Pass an :class:`~repro.obs.Observability` session to record spans,
     metrics and a kernel profile for the run; observation is read-only,
-    so results are identical with or without it.
+    so results are identical with or without it.  A
+    :class:`~repro.analysis.race.RaceSanitizer` likewise watches the
+    cell's shared surfaces without perturbing it.
     """
     sim = Simulator()
     if observe is not None:
         observe.attach(sim)
+    if sanitizer is not None:
+        sanitizer.attach(sim)
     streams = RandomStreams(config.seed)
     cloud = Cloud(sim, streams)
     manager = ReplicationManager(sim, cloud, ntp_period=config.ntp_period)
@@ -129,6 +133,10 @@ def run_experiment(config: ExperimentConfig,
     proxy = manager.build_proxy(MASTER_PLACEMENT)
     pool = ConnectionPool(sim, max_active=config.pool_size
                           or config.n_users)
+    if sanitizer is not None:
+        from ..analysis.race import instrument_cluster
+        instrument_cluster(sanitizer, pool=pool, proxy=proxy,
+                           manager=manager)
     generator = LoadGenerator(sim, proxy, pool, config.mix, state, streams,
                               n_users=config.n_users,
                               think_time_mean=config.think_time_mean,

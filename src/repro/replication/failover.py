@@ -93,6 +93,27 @@ def promote(manager: ReplicationManager,
     # 1. Drain: apply everything already received into the relay log.
     while candidate.relay_backlog > 0:
         yield manager.sim.timeout(drain_poll)
+        if not candidate.online or not candidate.instance.running:
+            raise DatabaseError(
+                f"candidate {candidate.name!r} failed while draining "
+                f"its relay log; pick another candidate")
+
+    # Every pass through the drain loop yielded, so everything
+    # validated above is stale now (RACE001): re-read the cluster
+    # state and re-validate before the irreversible rebrand.
+    if candidate not in manager.slaves:
+        raise DatabaseError(
+            f"{candidate.name!r} left the cluster during the drain")
+    if not candidate.online or not candidate.instance.running:
+        raise DatabaseError(
+            f"candidate {candidate.name!r} failed while draining "
+            f"its relay log; pick another candidate")
+    current = manager.master
+    if current is not old_master and current is not None \
+            and current.online:
+        raise DatabaseError(
+            "cluster was re-mastered during the drain; aborting this "
+            "promotion")
     candidate.stop_replication()
 
     # 2. Rebrand the candidate's instance+data as the new master.

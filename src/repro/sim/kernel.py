@@ -285,6 +285,8 @@ class Process(Event):
     def _step(self, value: Any, as_exception: bool) -> None:
         if self._triggered:
             return  # already finished (e.g. interrupt raced completion)
+        if self.sim.sanitizer is not None:
+            self.sim.sanitizer.on_resume(self)
         self.sim._active_process = self
         try:
             if as_exception:
@@ -349,6 +351,10 @@ class Simulator:
         self.tracer = NULL_TRACER
         self.metrics = NULL_METRICS
         self.profiler = None
+        #: Optional race sanitizer (see repro.analysis.race.sanitizer);
+        #: when set, every process resumption bumps its epoch so the
+        #: sanitizer can tell reads-before-yield from reads-after.
+        self.sanitizer = None
 
     @property
     def now(self) -> float:

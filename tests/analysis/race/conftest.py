@@ -1,0 +1,39 @@
+"""Shared plumbing for the race-analysis tests: write fixture sources
+to a temp directory, build the project model over them, and run the
+RACE rules the way ``racecheck_paths`` does."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.config import LintConfig
+from repro.analysis.race import build_project_model, race_rules
+from repro.analysis.visitor import LintContext
+
+
+@pytest.fixture
+def race_project(tmp_path):
+    def run(sources, config=None):
+        """``sources``: {filename: source}.  Returns (model, findings)."""
+        paths = []
+        for name, source in sorted(sources.items()):
+            target = tmp_path / name
+            target.write_text(textwrap.dedent(source),
+                              encoding="utf-8")
+            paths.append(str(target))
+        model = build_project_model(paths)
+        rules = race_rules(model)
+        findings = []
+        for path in paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            module = model.module_for(path)
+            assert module is not None, f"{path} did not parse"
+            context = LintContext(path, source, module.tree,
+                                  config or LintConfig())
+            for rule in rules:
+                rule.check(context)
+            findings.extend(context.findings)
+        return model, sorted(findings)
+
+    return run

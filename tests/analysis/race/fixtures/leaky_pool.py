@@ -1,0 +1,27 @@
+"""A deliberately raced pool field: the canonical RACE001 specimen.
+
+Both prongs' tests use this one module: the static prong must flag
+``worker``'s write-back (read → yield → write, no re-read), and the
+dynamic prong must report the lost update when two workers share one
+pool at runtime.  The ``[tool.simlint]`` per-path ignore for this
+directory keeps the specimen out of the repo-wide clean gates.
+"""
+
+
+class LeakyPool:
+    """Two fields so tests can also assert what is NOT flagged."""
+
+    def __init__(self):
+        self.available = 5
+        self.label = "pool"
+
+
+def worker(sim, pool):
+    count = pool.available           # stale read
+    yield sim.timeout(1.0)           # preemption point
+    pool.available = count - 1       # lost update
+
+
+def start(sim, pool):
+    for index in range(2):
+        sim.process(worker(sim, pool), name=f"worker-{index}")

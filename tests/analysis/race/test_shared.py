@@ -1,0 +1,125 @@
+"""Shared-state inventory: what counts as raceable shared state."""
+
+from repro.analysis.race import build_project_model
+from repro.analysis.race.shared import build_inventory
+
+
+def _inventory(tmp_path, source, name="mod.py"):
+    target = tmp_path / name
+    target.write_text(source, encoding="utf-8")
+    model = build_project_model([str(target)])
+    return build_inventory(model)
+
+
+TWO_ROOTS = """\
+class Pool:
+    def __init__(self, sim):
+        self.sim = sim
+        self.free = 5
+        self.private_note = 0
+
+    def producer(self):
+        yield self.sim.timeout(1)
+        self.free = self.free + 1
+
+    def consumer(self):
+        yield self.sim.timeout(1)
+        self.free = self.free - 1
+        read_only = self.private_note
+
+
+def main(sim, pool):
+    sim.process(pool.producer())
+    sim.process(pool.consumer())
+"""
+
+
+def test_two_roots_written_attr_is_shared(tmp_path):
+    inventory = _inventory(tmp_path, TWO_ROOTS)
+    assert ("Pool", "free") in inventory.shared_pairs()
+    assert inventory.is_shared("free", "Pool")
+    # Name-based lookup (non-self receiver) also matches.
+    assert inventory.is_shared("free", None)
+
+
+def test_read_only_attr_is_not_shared(tmp_path):
+    inventory = _inventory(tmp_path, TWO_ROOTS)
+    # private_note is read by a root but never written by one:
+    # __init__ is not process-reachable.
+    assert ("Pool", "private_note") not in inventory.shared_pairs()
+    assert not inventory.is_shared("private_note", "Pool")
+
+
+SINGLE_ROOT = """\
+class Counter:
+    def __init__(self, sim):
+        self.sim = sim
+        self.value = 0
+
+    def ticker(self):
+        yield self.sim.timeout(1)
+        self.value = self.value + 1
+
+
+def single(sim, counter):
+    sim.process(counter.ticker())
+
+
+def fleet(sim, counter):
+    for _ in range(4):
+        sim.process(counter.ticker())
+"""
+
+
+def test_single_instance_root_is_private(tmp_path):
+    # Only the single registration: one process touches the state.
+    source = SINGLE_ROOT.replace("def fleet", "def unused_fleet") \
+        .replace("    for _ in range(4):\n"
+                 "        sim.process(counter.ticker())\n", "    pass\n")
+    inventory = _inventory(tmp_path, source)
+    assert ("Counter", "value") not in inventory.shared_pairs()
+
+
+def test_multi_instance_root_is_shared(tmp_path):
+    inventory = _inventory(tmp_path, SINGLE_ROOT)
+    assert ("Counter", "value") in inventory.shared_pairs()
+
+
+def test_collection_mutator_counts_as_write(tmp_path):
+    inventory = _inventory(tmp_path, """\
+class Registry:
+    def __init__(self, sim):
+        self.sim = sim
+        self.members = set()
+
+    def joiner(self):
+        yield self.sim.timeout(1)
+        self.members.add("x")
+
+
+def main(sim, registry):
+    for _ in range(2):
+        sim.process(registry.joiner())
+""")
+    assert ("Registry", "members") in inventory.shared_pairs()
+
+
+def test_non_self_access_joins_defining_classes(tmp_path):
+    inventory = _inventory(tmp_path, """\
+class Proxy:
+    def __init__(self):
+        self.master = None
+
+
+def flipper(sim, proxy):
+    yield sim.timeout(1)
+    proxy.master = "new"
+
+
+def main(sim, proxy):
+    sim.process(flipper(sim, proxy))
+    sim.process(flipper(sim, proxy))
+""")
+    # The module-level root writes through a bare receiver; the access
+    # joins to every class defining 'master'.
+    assert ("Proxy", "master") in inventory.shared_pairs()

@@ -223,3 +223,76 @@ def test_cli_lint_stats_goes_to_stderr_for_machine_formats(tmp_path,
     captured = capsys.readouterr()
     json.loads(captured.out)  # stdout stays a valid document
     assert "simlint stats" in captured.err
+
+
+# ----------------------------------------------------------- racecheck
+RACED = """\
+class Pool:
+    def __init__(self, sim):
+        self.sim = sim
+        self.free = 5
+
+    def worker(self):
+        count = self.free
+        yield self.sim.timeout(1)
+        self.free = count - 1
+
+
+def main(sim, pool):
+    for _ in range(2):
+        sim.process(pool.worker())
+"""
+
+
+def raced_module(tmp_path):
+    path = tmp_path / "raced.py"
+    path.write_text(RACED)
+    return str(path)
+
+
+def test_cli_racecheck_clean_path_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("VALUE = 1\n")
+    assert main(["racecheck", str(clean)]) == 0
+    assert "simrace: no findings" in capsys.readouterr().out
+
+
+def test_cli_racecheck_finding_exits_one(tmp_path, capsys):
+    assert main(["racecheck", raced_module(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "RACE001" in out
+    assert "read here" in out          # related location rendered
+    assert "yield point crossed" in out
+
+
+def test_cli_racecheck_json_format(tmp_path, capsys):
+    assert main(["racecheck", "--format", "json",
+                 raced_module(tmp_path)]) == 1
+    document = json.loads(capsys.readouterr().out)
+    (finding,) = document["findings"]
+    assert finding["rule_id"] == "RACE001"
+    assert len(finding["related"]) == 2
+
+
+def test_cli_racecheck_sarif_format(tmp_path, capsys):
+    assert main(["racecheck", "--format", "sarif",
+                 raced_module(tmp_path)]) == 1
+    document = json.loads(capsys.readouterr().out)
+    run = document["runs"][0]
+    listed = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert listed == {"RACE001", "RACE002", "RACE003", "RACE004",
+                      "RACE005"}
+    (result,) = run["results"]
+    assert result["ruleId"] == "RACE001"
+    assert len(result["relatedLocations"]) == 2
+
+
+def test_cli_racecheck_stats_line(tmp_path, capsys):
+    assert main(["racecheck", "--stats", raced_module(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "parse cache:" in out
+
+
+def test_cli_racecheck_missing_path_is_an_error(tmp_path, capsys):
+    missing = str(tmp_path / "nope.py")
+    assert main(["racecheck", missing]) == 2

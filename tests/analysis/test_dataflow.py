@@ -167,3 +167,71 @@ def test_budget_guard_raises_on_nonmonotone_problem():
     ''')
     with pytest.raises(RuntimeError, match="did not converge"):
         solve_forward(cfg, Flapping(), max_iterations=10)
+
+
+class Flagging(AcquireRelease):
+    """Transform demo: crossing a ``yield`` marks every live fact —
+    the exact shape the RACE rules build on."""
+
+    def transform(self, node, facts):
+        if isinstance(node.stmt, ast.Expr) and \
+                isinstance(node.stmt.value, ast.Yield):
+            return frozenset(
+                fact if fact.endswith("*") else fact + "*"
+                for fact in facts)
+        return facts
+
+
+def test_transform_marks_facts_crossing_a_node():
+    cfg = cfg_of('''
+    def f():
+        x = acquire()
+        yield
+        use(x)
+    ''')
+    result = solve_forward(cfg, Flagging())
+    assert result.at_exit == {"x*"}
+
+
+def test_transform_runs_after_kill_and_before_gen():
+    # release(x) at the yield-free path kills before the transform
+    # could mark; a fact genned AT the transforming node stays
+    # unmarked (gen applies after transform on the normal edge).
+    cfg = cfg_of('''
+    def f():
+        x = acquire()
+        release(x)
+        yield
+        y = acquire()
+    ''')
+    result = solve_forward(cfg, Flagging())
+    assert result.at_exit == {"y"}
+
+
+def test_transform_applies_on_exception_edges_too():
+    cfg = cfg_of('''
+    def f():
+        x = acquire()
+        try:
+            yield
+        finally:
+            use(x)
+    ''')
+    result = solve_forward(cfg, Flagging())
+    yield_node = next(node for node in cfg.nodes
+                      if node.label == "Expr@5")
+    assert result.leaving(yield_node, "exception") == {"x*"}
+
+
+def test_transform_idempotence_converges_in_loops():
+    cfg = cfg_of('''
+    def f(items):
+        x = acquire()
+        for item in items:
+            yield
+        use(x)
+    ''')
+    result = solve_forward(cfg, Flagging())
+    # May-analysis: the zero-iteration path carries the unmarked fact
+    # around the loop; every path THROUGH the yield carries the mark.
+    assert result.at_exit == {"x", "x*"}

@@ -70,3 +70,42 @@ def test_round_trip_from_lint_source():
     assert [r["ruleId"] for r in results] == ["FLW001"]
     assert results[0]["locations"][0]["physicalLocation"][
         "region"]["startLine"] == 2
+
+
+def test_related_locations_carried_into_sarif():
+    finding = Finding(
+        path="./src/repro/x.py", line=12, column=8,
+        rule_id="RACE001", message="stale write-back of 'pool.free'",
+        hint="re-read after the yield",
+        related=(("./src/repro/x.py", 9, 4, "'pool.free' read here"),
+                 ("./src/repro/x.py", 10, 0,
+                  "yield point crossed here")))
+    result = document_for([finding])["runs"][0]["results"][0]
+    related = result["relatedLocations"]
+    assert len(related) == 2
+    read, crossing = related
+    location = read["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/repro/x.py"
+    assert location["region"]["startLine"] == 9
+    assert location["region"]["startColumn"] == 5  # 1-based
+    assert read["message"]["text"] == "'pool.free' read here"
+    assert crossing["message"]["text"] == "yield point crossed here"
+
+
+def test_related_locations_absent_when_finding_has_none():
+    finding = Finding(path="./x.py", line=1, column=0,
+                      rule_id="FLW001", message="m", hint="")
+    result = document_for([finding])["runs"][0]["results"][0]
+    assert "relatedLocations" not in result
+
+
+def test_related_locations_in_render_and_dict():
+    finding = Finding(
+        path="x.py", line=12, column=8, rule_id="RACE001",
+        message="stale write-back", hint="",
+        related=(("x.py", 9, 4, "read here"),))
+    assert "x.py:9:4: read here" in finding.render()
+    payload = finding.as_dict()
+    assert payload["related"] == [
+        {"path": "x.py", "line": 9, "column": 4,
+         "message": "read here"}]

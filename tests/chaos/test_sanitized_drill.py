@@ -1,0 +1,46 @@
+"""The sanitizer must be a pure observer: a sanitized drill produces
+the byte-identical recovery report of the unsanitized run, and the
+repaired cluster code generates zero reports — the contract the CI
+sanitizer-smoke job enforces."""
+
+import json
+
+import pytest
+
+from repro.analysis.race import RaceSanitizer
+from repro.chaos import run_drill
+
+from tests.chaos.test_drill import crash_schedule, small_config
+
+
+@pytest.fixture(scope="module")
+def paired_runs():
+    config = small_config(crash_schedule())
+    plain = run_drill(config)
+    sanitizer = RaceSanitizer()
+    sanitized = run_drill(config, sanitizer=sanitizer)
+    return plain, sanitized, sanitizer
+
+
+def test_sanitized_drill_reports_no_races(paired_runs):
+    _plain, _sanitized, sanitizer = paired_runs
+    assert sanitizer.reports == [], "\n".join(
+        report.render() for report in sanitizer.reports)
+
+
+def test_sanitizer_does_not_perturb_the_drill(paired_runs):
+    plain, sanitized, _sanitizer = paired_runs
+    # Byte-identical recovery reports: instrumentation must not move
+    # a single event, value or timestamp.
+    plain_doc = json.dumps(plain.report, sort_keys=True)
+    sanitized_doc = json.dumps(sanitized.report, sort_keys=True)
+    assert plain_doc == sanitized_doc
+
+
+def test_sanitizer_instrumented_the_cluster_surfaces(paired_runs):
+    _plain, _sanitized, sanitizer = paired_runs
+    labels = sanitizer.summary()["instrumented"]
+    assert "pool" in labels
+    assert "proxy" in labels
+    assert "manager" in labels
+    assert any(label.startswith("slave.") for label in labels)

@@ -179,3 +179,74 @@ def test_proxy_repoints_after_failover(sim, manager, master):
     assert proxy.route(parse("INSERT INTO items (grp, v) VALUES (1, 1)")) \
         is new_master
     assert proxy.route(parse("SELECT 1")) in manager.slaves
+
+
+# ---------------------------------------------------------------------------
+# Regression: the drain loop in promote() yields, so everything
+# validated before it is stale by the time the rebrand runs (RACE001 /
+# RACE002).  promote() must re-validate after draining.
+# ---------------------------------------------------------------------------
+
+def _pause_sql_thread(slave):
+    """White-box: stall the SQL thread so the relay log accumulates a
+    backlog and promote() is forced into its drain loop."""
+    slave._sql_thread_process.interrupt("paused")
+    slave._sql_thread_process = None
+
+
+def test_promote_aborts_when_candidate_dies_mid_drain(sim, manager,
+                                                      master):
+    slave = manager.add_slave(MASTER_PLACEMENT)
+    drive(sim, master, 10, spacing=0.01)
+    sim.run(until=0.02)
+    _pause_sql_thread(slave)
+    sim.run(until=0.3)
+    assert slave.relay_backlog > 0
+    fail_master(manager)
+
+    def attempt(manager):
+        yield from promote(manager)
+
+    sim.process(attempt(manager))
+
+    def crash_candidate():
+        yield sim.timeout(0.12)  # a couple of drain polls in
+        slave.instance.crash()
+        slave.online = False
+
+    sim.process(crash_candidate())
+    with pytest.raises(DatabaseError, match="failed while draining"):
+        sim.run()
+    # The abort left the cluster untouched: no half-promoted state.
+    assert manager.master is master
+    assert slave in manager.slaves
+
+
+def test_promote_aborts_when_remastered_during_drain(sim, manager,
+                                                     master):
+    near = manager.add_slave(MASTER_PLACEMENT, name="near")
+    spare = manager.add_slave(MASTER_PLACEMENT, name="spare")
+    drive(sim, master, 10, spacing=0.01)
+    sim.run(until=0.02)
+    _pause_sql_thread(near)
+    sim.run(until=0.3)
+    assert near.relay_backlog > 0
+    fail_master(manager)
+
+    def slow_path(manager):
+        # Deliberately picks the backlogged candidate: stuck draining.
+        yield from promote(manager, candidate=near)
+
+    def fast_path(manager):
+        yield sim.timeout(0.12)
+        # A competing promoter installs 'spare' while the slow path
+        # is still in its drain loop (its re-sync also restarts the
+        # stalled SQL thread, letting the drain finish).
+        yield from promote(manager, candidate=spare)
+
+    sim.process(slow_path(manager))
+    fast = sim.process(fast_path(manager))
+    with pytest.raises(DatabaseError, match="re-mastered"):
+        sim.run()
+    assert fast.triggered
+    assert manager.master is not master
