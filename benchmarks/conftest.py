@@ -27,7 +27,7 @@ _GRID_CACHE: dict = {}
 
 def get_grid(ratio: str, location: LocationConfig):
     """Run (or fetch) the sweep grid for one sub-figure."""
-    profile = bench_scale()
+    profile = bench_scale()  # simtaint: blessed=REPRO_SCALE-sizes-the-benchmark-not-the-result
     key = (ratio, location, profile.name)
     if key not in _GRID_CACHE:
         _GRID_CACHE[key] = run_throughput_delay_grid(ratio, location,

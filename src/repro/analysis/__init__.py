@@ -20,18 +20,27 @@ hold everywhere in ``src/repro/``:
 * **Yield-point atomicity** (RACE rules, :mod:`repro.analysis.race`):
   interprocedural proofs that no process acts on shared state it read
   before a preemption point — ``python -m repro racecheck``.
+* **Determinism taint** (TNT rules, :mod:`repro.analysis.taint`):
+  interprocedural source→sink proofs that no nondeterministic value
+  (wall clock, entropy, environment, ``id()``, set iteration order)
+  reaches event scheduling, telemetry, or artifacts —
+  ``python -m repro taintcheck``; purity summaries feed back into the
+  FLW/RACE rules under ``python -m repro check``.
 
 Nothing in the runtime enforces these invariants, so refactors could
 silently break reproducibility; ``python -m repro lint`` (and the
 ``tests/analysis/test_lint_clean.py`` gate) make them checkable.
 """
 
+from .baseline import (filter_new, fingerprint, load_baseline,
+                       render_baseline, write_baseline)
 from .config import DEFAULT_CONFIG, LintConfig, load_config
 from .findings import Finding
-from .runner import (LintStats, SourceCache, format_findings_json,
-                     format_findings_text, lint_file, lint_paths,
-                     lint_source, racecheck_paths)
-from .sarif import format_findings_sarif
+from .runner import (LintStats, SourceCache, check_paths,
+                     format_findings_json, format_findings_text,
+                     lint_file, lint_paths, lint_source,
+                     racecheck_paths, taintcheck_paths)
+from .sarif import format_findings_sarif, format_merged_sarif
 from .visitor import LintContext, Rule, all_rules
 
 __all__ = [
@@ -48,7 +57,15 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "racecheck_paths",
+    "taintcheck_paths",
+    "check_paths",
     "format_findings_text",
     "format_findings_json",
     "format_findings_sarif",
+    "format_merged_sarif",
+    "fingerprint",
+    "render_baseline",
+    "write_baseline",
+    "load_baseline",
+    "filter_new",
 ]

@@ -1,0 +1,122 @@
+"""Finding baselines: freeze the present, fail only on the new.
+
+A baseline is a canonical-JSON snapshot of a run's findings, keyed by
+a stable fingerprint (``sha256(path::rule::message)`` truncated) with
+an occurrence count.  ``--write-baseline`` writes it; ``--baseline``
+filters the current run down to findings *not* covered by the
+snapshot, so CI can gate on regressions while a cleanup of
+pre-existing findings proceeds at its own pace.
+
+Properties the format guarantees:
+
+* **Byte-identical round-trip** — the document is serialized with
+  sorted keys, fixed indentation and a trailing newline, so writing
+  the same findings twice produces the same bytes (CI asserts this).
+* **Line-move tolerance is deliberate and bounded** — the fingerprint
+  hashes the *message*, which for most rules embeds the line number.
+  Moving code therefore invalidates its baseline entries; that is the
+  honest choice (a finding that moved was touched and deserves a
+  fresh look) and keeps fingerprints collision-free without
+  context-diff machinery.
+* **Count-aware** — if a file had two identical findings and gains a
+  third, the third is new; the first two stay frozen.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional, Sequence
+
+from .findings import Finding
+
+__all__ = ["BASELINE_VERSION", "fingerprint", "render_baseline",
+           "write_baseline", "load_baseline", "filter_new"]
+
+BASELINE_VERSION = 1
+
+
+def _canonical_path(path: str) -> str:
+    """Repo-relative forward-slash path, so baselines travel between
+    machines and CI runners."""
+    normalized = path.replace(os.sep, "/")
+    while normalized.startswith("./"):
+        normalized = normalized[2:]
+    if os.path.isabs(normalized):
+        relative = os.path.relpath(normalized).replace(os.sep, "/")
+        if not relative.startswith(".."):
+            return relative
+    return normalized
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable 16-hex-digit identity of one finding."""
+    key = (f"{_canonical_path(finding.path)}::{finding.rule_id}"
+           f"::{finding.message}")
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+def render_baseline(findings: Sequence[Finding], tool: str) -> str:
+    """The canonical baseline document for ``findings`` (a JSON
+    string ending in exactly one newline)."""
+    entries: dict = {}
+    for finding in findings:
+        print_ = fingerprint(finding)
+        entry = entries.get(print_)
+        if entry is None:
+            entries[print_] = {
+                "count": 1,
+                "rule": finding.rule_id,
+                "path": _canonical_path(finding.path),
+            }
+        else:
+            entry["count"] += 1
+    document = {
+        "tool": tool,
+        "version": BASELINE_VERSION,
+        "findings": entries,
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(path: str, findings: Sequence[Finding],
+                   tool: str) -> None:
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(render_baseline(findings, tool))
+
+
+def load_baseline(path: str) -> dict:
+    """``fingerprint -> allowed count`` from a baseline file.
+
+    Raises ``ValueError`` on a malformed or wrong-version document —
+    a silently ignored baseline would make CI pass vacuously.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or \
+            document.get("version") != BASELINE_VERSION or \
+            not isinstance(document.get("findings"), dict):
+        raise ValueError(
+            f"not a v{BASELINE_VERSION} baseline file: {path}")
+    return {print_: int(entry.get("count", 0))
+            for print_, entry in document["findings"].items()}
+
+
+def filter_new(findings: Sequence[Finding],
+               baseline: Optional[dict]) -> list:
+    """Findings not covered by ``baseline`` (all of them when it is
+    None).  With k occurrences allowed and n > k present, the last
+    n − k in sorted order are the new ones."""
+    if baseline is None:
+        return list(findings)
+    remaining = dict(baseline)
+    fresh: list = []
+    for finding in sorted(findings):
+        print_ = fingerprint(finding)
+        allowed = remaining.get(print_, 0)
+        if allowed > 0:
+            remaining[print_] = allowed - 1
+        else:
+            fresh.append(finding)
+    return fresh

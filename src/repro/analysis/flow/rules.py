@@ -27,6 +27,15 @@ pool.acquire()``, ``v = resource.request()``):
 
 A claim still live on any edge into ``<exit>`` — normal or exception —
 is a leak: FLW001/FLW002 report it at the acquire site.
+
+When a *purity oracle* is wired in (``repro check`` passes the taint
+plane's :class:`~..taint.purity.PuritySummaries` verdicts), passing
+``v`` to a call **proven pure and yield-free** neither settles nor
+escapes the claim — ``validate(v)`` can no longer silently discharge
+a leak proof.  Constructor-like calls keep transferring ownership
+regardless (allocation is pure, but the new object owns the handle).
+Standalone ``repro lint`` runs without the oracle and keeps the
+conservative any-call-settles behaviour.
 """
 
 from __future__ import annotations
@@ -138,10 +147,14 @@ class _PairingProblem(DataflowProblem):
 
     ``match_acquire`` decides whether an assigned value is an
     acquisition — the only ingredient FLW001 and FLW002 do not share.
+    ``call_oracle(call, path) -> "pure"|"impure"|"unknown"`` (optional)
+    lets proven-pure calls keep the claim alive instead of settling it.
     """
 
-    def __init__(self, match_acquire):
+    def __init__(self, match_acquire, call_oracle=None, path=None):
         self.match_acquire = match_acquire
+        self.call_oracle = call_oracle
+        self.path = path
 
     def gen(self, node: CFGNode) -> frozenset:
         stmt = node.stmt
@@ -160,7 +173,9 @@ class _PairingProblem(DataflowProblem):
         live = {claim.var for claim in facts}
         dead_vars: set[str] = set()
         for expr in node_expressions(node):
-            dead_vars |= _settled_vars(expr, live)
+            dead_vars |= _settled_vars(expr, live,
+                                       call_oracle=self.call_oracle,
+                                       path=self.path)
         # Rebinding the variable also ends the old claim.
         stmt = node.stmt
         if stmt is not None:
@@ -171,7 +186,8 @@ class _PairingProblem(DataflowProblem):
                          if claim.var in dead_vars)
 
 
-def _settled_vars(expr: ast.AST, live: set[str]) -> set[str]:
+def _settled_vars(expr: ast.AST, live: set[str],
+                  call_oracle=None, path=None) -> set[str]:
     """Variables whose claim ends at this statement fragment — by
     release, ownership transfer, or escape (see module docstring)."""
     settled: set[str] = set()
@@ -189,7 +205,16 @@ def _settled_vars(expr: ast.AST, live: set[str]) -> set[str]:
             if not arg_names & live:
                 continue
             # release(...), constructor transfer, or escape — all end
-            # this function's proof obligation for those vars.
+            # this function's proof obligation for those vars.  A call
+            # the oracle proves pure does none of those: it cannot
+            # release, cannot take ownership, and the claim stays this
+            # function's to discharge.  Constructor-like calls are
+            # exempt — ownership transfer is the sanctioned idiom even
+            # though allocation itself is effect-free.
+            if call_oracle is not None and \
+                    not _is_constructor_like(sub) and \
+                    call_oracle(sub, path) == "pure":
+                continue
             settled |= arg_names & live
         elif isinstance(sub, (ast.Assign, ast.AnnAssign)):
             value = _assigned_value(sub)
@@ -204,7 +229,16 @@ def _settled_vars(expr: ast.AST, live: set[str]) -> set[str]:
     return settled
 
 
-class _PairingRule(Rule):
+class _FlowRule(Rule):
+    """Base for the FLW/OBS flow rules: optionally carries the purity
+    oracle ``repro check`` wires in (``None`` for standalone lint —
+    the conservative mode)."""
+
+    def __init__(self, call_oracle=None):
+        self.call_oracle = call_oracle
+
+
+class _PairingRule(_FlowRule):
     """Shared driver: solve the pairing problem per function, report
     claims alive at exit.  Subclasses supply the acquire matcher (and
     may swap in a problem subclass with extra kill sites)."""
@@ -223,7 +257,9 @@ class _PairingRule(Rule):
         return False
 
     def check(self, context: LintContext) -> None:
-        problem = self.problem_factory(self.match_acquire)
+        problem = self.problem_factory(self.match_acquire,
+                                       call_oracle=self.call_oracle,
+                                       path=context.path)
         for function in iter_functions(context.tree):
             if not self._has_acquire_site(function):
                 continue
@@ -365,7 +401,7 @@ class _TransactionProblem(DataflowProblem):
                          if claim.receiver in ended)
 
 
-class TransactionLeakRule(Rule):
+class TransactionLeakRule(_FlowRule):
     """FLW003: a ``begin`` that can reach function exit with neither
     ``commit`` nor ``rollback`` on that path."""
 
@@ -400,7 +436,7 @@ class TransactionLeakRule(Rule):
 
 
 # --------------------------------------------------- unreachable yield
-class UnreachableYieldRule(Rule):
+class UnreachableYieldRule(_FlowRule):
     """FLW004: a ``yield`` the CFG proves unreachable (every path
     returns or raises first).  The ``yield`` still turns the function
     into a generator, so the dead statement silently changes the
@@ -430,7 +466,7 @@ class UnreachableYieldRule(Rule):
 
 
 # ------------------------------------------------------ handle escapes
-class HandleEscapeRule(Rule):
+class HandleEscapeRule(_FlowRule):
     """FLW005: an acquired handle passed to an arbitrary call or stored
     into a container leaves the function with no owner on record —
     nobody can prove it is ever released."""
@@ -471,6 +507,11 @@ class HandleEscapeRule(Rule):
         if isinstance(node, ast.Call):
             if _is_constructor_like(node) or \
                     _call_attr(node) in self.SANCTIONED:
+                return
+            if self.call_oracle is not None and \
+                    self.call_oracle(node, context.path) == "pure":
+                # A proven-pure callee cannot retain the handle: the
+                # value never escapes this function's ownership.
                 return
             passed = [arg for arg in node.args
                       if isinstance(arg, ast.Name) and

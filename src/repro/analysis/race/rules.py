@@ -250,12 +250,19 @@ class _CheckProblem(_CrossingProblem):
 
 # ----------------------------------------------------------- rule base
 class _RaceRule(Rule):
-    """Project-aware rule: constructed with the resolved model."""
+    """Project-aware rule: constructed with the resolved model.
+
+    ``purity`` (a :class:`~..taint.purity.PuritySummaries`, wired in
+    by ``repro check``) upgrades the name-union mutation heuristics to
+    precise call resolution: a call every resolved target of which is
+    proven pure stops counting as a state-changing act."""
 
     def __init__(self, model: Optional[ProjectModel] = None,
-                 inventory: Optional[SharedStateInventory] = None):
+                 inventory: Optional[SharedStateInventory] = None,
+                 purity=None):
         self.model = model
         self.inventory = inventory
+        self.purity = purity
 
     def check(self, context: LintContext) -> None:
         if self.model is None or self.inventory is None:
@@ -389,9 +396,21 @@ class CheckThenActRule(_RaceRule):
                 name = sub.func.attr
                 if name in _COLLECTION_MUTATORS or \
                         view.model.method_mutates(name):
+                    if self.purity is not None and \
+                            self._proven_pure(view, sub):
+                        continue
                     acts.append((receiver, sub,
                                  f"mutating call {name}()"))
         return acts
+
+    def _proven_pure(self, view, call: ast.Call) -> bool:
+        """Precise override of the name-union heuristic: when purity
+        summaries prove every resolved target of this call pure (and
+        yield-free), it is not an act — e.g. a class whose ``update``
+        method only *reads* state no longer trips the collection-
+        mutator fallback."""
+        caller = view.model.function_for_node(view.function)
+        return self.purity.call_verdict(call, caller=caller) == "pure"
 
 
 _VIEW_METHODS = frozenset(("values", "items", "keys"))
@@ -514,10 +533,11 @@ RACE_RULES = (StaleWriteBackRule, CheckThenActRule,
 
 
 def race_rules(model: ProjectModel,
-               inventory: Optional[SharedStateInventory] = None
-               ) -> list:
-    """One instance of every RACE rule, wired to ``model``."""
+               inventory: Optional[SharedStateInventory] = None,
+               purity=None) -> list:
+    """One instance of every RACE rule, wired to ``model`` (and,
+    under ``repro check``, to the purity summaries)."""
     from .shared import build_inventory
     if inventory is None:
         inventory = build_inventory(model)
-    return [cls(model, inventory) for cls in RACE_RULES]
+    return [cls(model, inventory, purity=purity) for cls in RACE_RULES]

@@ -167,7 +167,8 @@ class RaceSanitizer:
 
     def _on_write(self, obj, name: str) -> None:
         writer = self._active()
-        state = self._state[id(obj)].setdefault(name, _FieldState())
+        state = self._state[id(obj)].setdefault(  # simtaint: blessed=object-identity-keys-never-serialized
+            name, _FieldState())
         if writer is None:
             state.version += 1
             state.last_writer = "<setup>"
@@ -190,7 +191,7 @@ class RaceSanitizer:
 
     def _report(self, obj, name: str, writer: str,
                 state: _FieldState, read_time: float) -> None:
-        label = self._instrumented[id(obj)][0]
+        label = self._instrumented[id(obj)][0]  # simtaint: blessed=object-identity-keys-never-serialized
         report = RaceReport(
             time=self.sim.now,
             field_path=f"{label}.{name}",

@@ -15,7 +15,8 @@ from .findings import Finding
 from .visitor import LintContext, Rule, all_rules
 
 __all__ = ["LintStats", "SourceCache", "lint_source", "lint_file",
-           "lint_paths", "racecheck_paths", "format_findings_text",
+           "lint_paths", "racecheck_paths", "taintcheck_paths",
+           "check_paths", "format_findings_text",
            "format_findings_json"]
 
 
@@ -37,6 +38,12 @@ class LintStats:
     #: both in one process parses each file exactly once.
     parses: int = 0
     parse_reuses: int = 0
+    #: purity-oracle accounting (``repro check`` only): call sites the
+    #: FLW/RACE analyzers asked about, split into resolved (a definite
+    #: pure/impure verdict — previously every one was conservative)
+    #: vs still-conservative (unknown callee).
+    calls_resolved: int = 0
+    calls_conservative: int = 0
 
     def observe(self, rule_id: str, findings: int,
                 seconds: float) -> None:
@@ -50,6 +57,13 @@ class LintStats:
                  f"{self.total_seconds * 1000:.0f} ms total"]
         lines.append(f"  parse cache: {self.parses} parsed, "
                      f"{self.parse_reuses} reused")
+        consulted = self.calls_resolved + self.calls_conservative
+        if consulted:
+            share = 100.0 * self.calls_resolved / consulted
+            lines.append(
+                f"  purity oracle: {self.calls_resolved}/{consulted} "
+                f"call sites resolved ({share:.0f}%), "
+                f"{self.calls_conservative} conservative")
         for rule_id in sorted(self.seconds_per_rule):
             lines.append(
                 f"  {rule_id}: {self.findings_per_rule[rule_id]} "
@@ -148,11 +162,11 @@ def lint_source(source: str, path: str = "<string>",
         before = len(context.findings)
         # Wall-clock here measures the linter itself, not simulation
         # behaviour; the determinism rule does not apply to it.
-        started = time.perf_counter()  # simlint: disable=DET001
+        started = time.perf_counter()  # simlint: disable=DET001  # simtaint: blessed=analyzer-wall-time
         rule.check(context)
         if stats is not None:
             stats.observe(rule.rule_id, len(context.findings) - before,
-                          time.perf_counter() - started)  # simlint: disable=DET001
+                          time.perf_counter() - started)  # simlint: disable=DET001  # simtaint: blessed=analyzer-wall-time
     return sorted(context.findings)
 
 
@@ -194,7 +208,7 @@ def lint_paths(paths: Optional[Iterable[str]] = None,
     """Lint every ``*.py`` file under ``paths`` (default: the config's
     paths), findings sorted by location."""
     findings: list[Finding] = []
-    started = time.perf_counter()  # simlint: disable=DET001
+    started = time.perf_counter()  # simlint: disable=DET001  # simtaint: blessed=analyzer-wall-time
     resolved_rules = list(rules) if rules is not None else all_rules()
     for path in (paths if paths is not None else config.paths):
         for filename in _python_files(path):
@@ -203,7 +217,7 @@ def lint_paths(paths: Optional[Iterable[str]] = None,
                                       stats=stats))
     if stats is not None:
         stats.total_seconds = \
-            time.perf_counter() - started  # simlint: disable=DET001
+            time.perf_counter() - started  # simlint: disable=DET001  # simtaint: blessed=analyzer-wall-time
     return sorted(findings)
 
 
@@ -220,17 +234,31 @@ def racecheck_paths(paths: Optional[Iterable[str]] = None,
     """
     from .race import build_project_model, race_rules
 
-    started = time.perf_counter()  # simlint: disable=DET001
-    filenames = [
-        filename
-        for path in (paths if paths is not None else config.paths)
-        for filename in _python_files(path)]
+    started = time.perf_counter()  # simlint: disable=DET001  # simtaint: blessed=analyzer-wall-time
+    filenames = _project_files(paths, config)
     misses_before = _SOURCE_CACHE.misses
     model = build_project_model(filenames,
                                 loader=_SOURCE_CACHE.loader)
     if stats is not None:
         stats.parses += _SOURCE_CACHE.misses - misses_before
-    rules = race_rules(model)
+    findings = _lint_model_files(filenames, race_rules(model),
+                                 config, stats)
+    if stats is not None:
+        stats.total_seconds = \
+            time.perf_counter() - started  # simlint: disable=DET001  # simtaint: blessed=analyzer-wall-time
+    return findings
+
+
+def _project_files(paths: Optional[Iterable[str]],
+                   config: LintConfig) -> list:
+    return [filename
+            for path in (paths if paths is not None else config.paths)
+            for filename in _python_files(path)]
+
+
+def _lint_model_files(filenames, rules, config, stats) -> list:
+    """Per-file pass shared by racecheck/taintcheck/check: lint each
+    file with ``rules`` over the cached trees."""
     findings: list[Finding] = []
     for filename in filenames:
         hits_before = _SOURCE_CACHE.hits
@@ -246,10 +274,88 @@ def racecheck_paths(paths: Optional[Iterable[str]] = None,
         findings.extend(lint_source(source, path=filename,
                                     config=config, rules=rules,
                                     stats=stats, tree=tree))
+    return sorted(findings)
+
+
+def taintcheck_paths(paths: Optional[Iterable[str]] = None,
+                     config: LintConfig = DEFAULT_CONFIG,
+                     stats: Optional[LintStats] = None) -> list[Finding]:
+    """Run the interprocedural TNT taint rules over ``paths``.
+
+    Builds one project model, computes the taint summaries fixpoint,
+    then checks each file with the TNT001–TNT005 rules.  Shares the
+    process-wide parse cache with :func:`lint_paths` and
+    :func:`racecheck_paths`.
+    """
+    from .race import build_project_model
+    from .taint import taint_rules
+
+    started = time.perf_counter()  # simlint: disable=DET001  # simtaint: blessed=analyzer-wall-time
+    filenames = _project_files(paths, config)
+    misses_before = _SOURCE_CACHE.misses
+    model = build_project_model(filenames,
+                                loader=_SOURCE_CACHE.loader)
+    if stats is not None:
+        stats.parses += _SOURCE_CACHE.misses - misses_before
+    findings = _lint_model_files(filenames, taint_rules(model),
+                                 config, stats)
     if stats is not None:
         stats.total_seconds = \
-            time.perf_counter() - started  # simlint: disable=DET001
-    return sorted(findings)
+            time.perf_counter() - started  # simlint: disable=DET001  # simtaint: blessed=analyzer-wall-time
+    return findings
+
+
+def check_paths(paths: Optional[Iterable[str]] = None,
+                config: LintConfig = DEFAULT_CONFIG,
+                stats: Optional[LintStats] = None) -> dict:
+    """The ``repro check`` umbrella: lint + flow + race + taint in one
+    pass over one shared parse cache and one project model.
+
+    Returns ``{"simlint": [...], "simrace": [...], "simtaint": [...]}``
+    (each sorted).  Unlike the standalone subcommands, the FLW pairing
+    rules and RACE002 run with the purity oracle wired in: calls
+    proven pure-and-yield-free stop being conservative settle/act
+    points, and the resolved/conservative fraction lands in
+    ``stats``.
+    """
+    from .flow import rules as flowrules
+    from .race import build_project_model, race_rules
+    from .rules import determinism, obsnames, simsafety, sqlcheck
+    from .taint import build_purity, taint_rules
+
+    started = time.perf_counter()  # simlint: disable=DET001  # simtaint: blessed=analyzer-wall-time
+    filenames = _project_files(paths, config)
+    misses_before = _SOURCE_CACHE.misses
+    model = build_project_model(filenames,
+                                loader=_SOURCE_CACHE.loader)
+    if stats is not None:
+        stats.parses += _SOURCE_CACHE.misses - misses_before
+    purity = build_purity(model)
+
+    def oracle(call, path):
+        return purity.call_verdict(
+            call, resolver=purity.resolver_for(path))
+
+    lint_rules: list = []
+    for module in (determinism, simsafety, sqlcheck, obsnames):
+        lint_rules.extend(cls() for cls in module.RULES)
+    lint_rules.extend(cls(call_oracle=oracle)
+                      for cls in flowrules.RULES)
+    results = {
+        "simlint": _lint_model_files(filenames, lint_rules, config,
+                                     stats),
+        "simrace": _lint_model_files(
+            filenames, race_rules(model, purity=purity), config,
+            stats),
+        "simtaint": _lint_model_files(filenames, taint_rules(model),
+                                      config, stats),
+    }
+    if stats is not None:
+        stats.calls_resolved += purity.stats.resolved
+        stats.calls_conservative += purity.stats.conservative
+        stats.total_seconds = \
+            time.perf_counter() - started  # simlint: disable=DET001  # simtaint: blessed=analyzer-wall-time
+    return results
 
 
 def format_findings_text(findings: Sequence[Finding],

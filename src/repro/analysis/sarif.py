@@ -19,7 +19,8 @@ from typing import Optional, Sequence
 from .findings import Finding
 from .visitor import Rule
 
-__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "format_findings_sarif"]
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "format_findings_sarif",
+           "format_merged_sarif", "sarif_run"]
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
@@ -84,31 +85,55 @@ def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
     return result
 
 
+def sarif_run(tool_name: str, findings: Sequence[Finding],
+              rules: Sequence[Rule],
+              tool_version: str = "1.0.0") -> dict:
+    """One SARIF ``run`` object for one tool's findings."""
+    descriptors = [_rule_descriptor(rule) for rule in rules]
+    rule_index = {descriptor["id"]: position
+                  for position, descriptor in enumerate(descriptors)}
+    return {
+        "tool": {
+            "driver": {
+                "name": tool_name,
+                "informationUri": _TOOL_URI,
+                "version": tool_version,
+                "rules": descriptors,
+            },
+        },
+        "columnKind": "utf16CodeUnits",
+        "results": [_result(finding, rule_index)
+                    for finding in findings],
+    }
+
+
+def _document(runs: Sequence[dict]) -> str:
+    return json.dumps({
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": list(runs),
+    }, indent=2)
+
+
 def format_findings_sarif(findings: Sequence[Finding],
                           rules: Optional[Sequence[Rule]] = None,
-                          tool_version: str = "1.0.0") -> str:
+                          tool_version: str = "1.0.0",
+                          tool_name: str = "simlint") -> str:
     """One SARIF 2.1.0 document (a JSON string) for a lint run."""
     if rules is None:
         from .visitor import all_rules
         rules = all_rules()
-    descriptors = [_rule_descriptor(rule) for rule in rules]
-    rule_index = {descriptor["id"]: position
-                  for position, descriptor in enumerate(descriptors)}
-    document = {
-        "$schema": SARIF_SCHEMA_URI,
-        "version": SARIF_VERSION,
-        "runs": [{
-            "tool": {
-                "driver": {
-                    "name": "simlint",
-                    "informationUri": _TOOL_URI,
-                    "version": tool_version,
-                    "rules": descriptors,
-                },
-            },
-            "columnKind": "utf16CodeUnits",
-            "results": [_result(finding, rule_index)
-                        for finding in findings],
-        }],
-    }
-    return json.dumps(document, indent=2)
+    return _document([sarif_run(tool_name, findings, rules,
+                                tool_version)])
+
+
+def format_merged_sarif(runs: Sequence[tuple],
+                        tool_version: str = "1.0.0") -> str:
+    """One document with one ``run`` per tool — what ``repro check``
+    emits so a single code-scanning upload carries every analyzer.
+
+    ``runs`` is ``[(tool_name, findings, rules), ...]``; run order is
+    preserved (lint, race, taint).
+    """
+    return _document([sarif_run(name, findings, rules, tool_version)
+                      for name, findings, rules in runs])

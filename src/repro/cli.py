@@ -203,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--stats", action="store_true",
                       help="print per-rule finding counts and "
                            "wall-time (to stderr for json/sarif)")
+    _add_baseline_flags(lint)
     lint.set_defaults(handler=_run_lint)
 
     racecheck = sub.add_parser(
@@ -220,9 +221,61 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print per-rule finding counts, "
                                 "wall-time and parse-cache reuse "
                                 "(to stderr for json/sarif)")
+    _add_baseline_flags(racecheck)
     racecheck.set_defaults(handler=_run_racecheck)
 
+    taintcheck = sub.add_parser(
+        "taintcheck", help="simtaint: interprocedural determinism-"
+                           "taint analysis (TNT001-TNT005)")
+    taintcheck.add_argument("paths", nargs="*",
+                            help="files or directories (default: the "
+                                 "[tool.simlint] paths)")
+    taintcheck.add_argument("--format",
+                            choices=("text", "json", "sarif"),
+                            default="text",
+                            help="sarif carries the taint path "
+                                 "(source, hops, callee sink) as "
+                                 "relatedLocations")
+    taintcheck.add_argument("--stats", action="store_true",
+                            help="print per-rule finding counts, "
+                                 "wall-time and parse-cache reuse "
+                                 "(to stderr for json/sarif)")
+    _add_baseline_flags(taintcheck)
+    taintcheck.set_defaults(handler=_run_taintcheck)
+
+    check = sub.add_parser(
+        "check", help="umbrella: lint + flow + race + taint over one "
+                      "shared parse cache and call graph, with the "
+                      "purity oracle wired into the FLW/RACE rules")
+    check.add_argument("paths", nargs="*",
+                       help="files or directories (default: the "
+                            "[tool.simlint] paths)")
+    check.add_argument("--format", choices=("text", "json", "sarif"),
+                       default="text",
+                       help="sarif emits one merged document with "
+                            "one run per tool "
+                            "(simlint/simrace/simtaint)")
+    check.add_argument("--stats", action="store_true",
+                       help="print per-rule finding counts, parse-"
+                            "cache reuse and the purity oracle's "
+                            "resolved/conservative call-site split "
+                            "(to stderr for json/sarif)")
+    _add_baseline_flags(check)
+    check.set_defaults(handler=_run_check)
+
     return parser
+
+
+def _add_baseline_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument("--baseline", default=None, metavar="FILE",
+                         help="only report findings not present in "
+                              "this baseline snapshot; exit 1 only "
+                              "on new ones")
+    command.add_argument("--write-baseline", default=None,
+                         metavar="FILE",
+                         help="snapshot the current findings to FILE "
+                              "(canonical JSON, byte-stable) and "
+                              "exit 0")
 
 
 def _run_grid_command(args) -> str:
@@ -462,6 +515,29 @@ def _split_rule_lists(values: Optional[Sequence[str]]) -> list[str]:
     return rules
 
 
+def _apply_baseline(args, findings, tool: str):
+    """Honor ``--write-baseline`` / ``--baseline`` for one run.
+
+    Returns ``(findings_to_report, early_exit)`` where ``early_exit``
+    is a ``(text, code)`` pair that short-circuits the handler (after
+    writing a snapshot, or on an unreadable baseline file).
+    """
+    from .analysis import filter_new, load_baseline, write_baseline
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, findings, tool)
+        count = len(findings)
+        return findings, (
+            f"{tool}: wrote baseline of {count} finding"
+            f"{'s' if count != 1 else ''} to {args.write_baseline}", 0)
+    if args.baseline is not None:
+        try:
+            allowed = load_baseline(args.baseline)
+        except (OSError, ValueError) as error:
+            return findings, (f"{tool}: error: {error}", 2)
+        return filter_new(findings, allowed), None
+    return findings, None
+
+
 def _run_lint(args) -> tuple[str, int]:
     import sys
 
@@ -486,6 +562,9 @@ def _run_lint(args) -> tuple[str, int]:
                               stats=stats)
     except FileNotFoundError as error:
         return f"simlint: error: {error}", 2
+    findings, early = _apply_baseline(args, findings, "simlint")
+    if early is not None:
+        return early
     if args.format == "json":
         text = format_findings_json(findings)
     elif args.format == "sarif":
@@ -515,6 +594,9 @@ def _run_racecheck(args) -> tuple[str, int]:
                                    stats=stats)
     except FileNotFoundError as error:
         return f"simrace: error: {error}", 2
+    findings, early = _apply_baseline(args, findings, "simrace")
+    if early is not None:
+        return early
     if args.format == "json":
         text = format_findings_json(findings)
     elif args.format == "sarif":
@@ -528,6 +610,107 @@ def _run_racecheck(args) -> tuple[str, int]:
         else:
             print(stats.render(), file=sys.stderr)
     return text, (1 if findings else 0)
+
+
+def _run_taintcheck(args) -> tuple[str, int]:
+    import sys
+
+    from .analysis import (LintStats, format_findings_json,
+                           format_findings_sarif, format_findings_text,
+                           load_config, taintcheck_paths)
+    from .analysis.taint.rules import TAINT_RULES
+    config = load_config(".")
+    stats = LintStats() if args.stats else None
+    try:
+        findings = taintcheck_paths(args.paths or None, config=config,
+                                    stats=stats)
+    except FileNotFoundError as error:
+        return f"simtaint: error: {error}", 2
+    findings, early = _apply_baseline(args, findings, "simtaint")
+    if early is not None:
+        return early
+    if args.format == "json":
+        text = format_findings_json(findings)
+    elif args.format == "sarif":
+        text = format_findings_sarif(
+            findings, rules=[cls() for cls in TAINT_RULES],
+            tool_name="simtaint")
+    else:
+        text = format_findings_text(findings, tool="simtaint")
+    if stats is not None:
+        if args.format == "text":
+            text = f"{text}\n{stats.render()}"
+        else:
+            print(stats.render(), file=sys.stderr)
+    return text, (1 if findings else 0)
+
+
+_CHECK_TOOLS = ("simlint", "simrace", "simtaint")
+
+
+def _run_check(args) -> tuple[str, int]:
+    import json as json_module
+    import sys
+
+    from .analysis import (LintStats, all_rules, check_paths,
+                           format_findings_text, format_merged_sarif,
+                           load_config)
+    from .analysis.race.rules import RACE_RULES
+    from .analysis.taint.rules import TAINT_RULES
+    config = load_config(".")
+    stats = LintStats() if args.stats else None
+    try:
+        results = check_paths(args.paths or None, config=config,
+                              stats=stats)
+    except FileNotFoundError as error:
+        return f"simcheck: error: {error}", 2
+    if args.write_baseline is not None:
+        combined = [finding for tool in _CHECK_TOOLS
+                    for finding in results[tool]]
+        _, early = _apply_baseline(args, combined, "simcheck")
+        return early
+    if args.baseline is not None:
+        from .analysis import filter_new, load_baseline
+        try:
+            allowed = load_baseline(args.baseline)
+        except (OSError, ValueError) as error:
+            return f"simcheck: error: {error}", 2
+        # Rule ids are disjoint across the three tools, so filtering
+        # each run against the shared snapshot is exact.
+        results = {tool: filter_new(results[tool], allowed)
+                   for tool in _CHECK_TOOLS}
+    total = sum(len(results[tool]) for tool in _CHECK_TOOLS)
+    rules_by_tool = {
+        "simlint": all_rules(),
+        "simrace": [cls() for cls in RACE_RULES],
+        "simtaint": [cls() for cls in TAINT_RULES],
+    }
+    if args.format == "json":
+        text = json_module.dumps({
+            "count": total,
+            "tools": {tool: {
+                "count": len(results[tool]),
+                "findings": [finding.as_dict()
+                             for finding in results[tool]],
+            } for tool in _CHECK_TOOLS},
+        }, indent=2)
+    elif args.format == "sarif":
+        text = format_merged_sarif(
+            [(tool, results[tool], rules_by_tool[tool])
+             for tool in _CHECK_TOOLS])
+    else:
+        sections = [format_findings_text(results[tool], tool=tool)
+                    for tool in _CHECK_TOOLS]
+        sections.append(f"simcheck: {total} finding"
+                        f"{'s' if total != 1 else ''} across "
+                        f"{len(_CHECK_TOOLS)} analyzers")
+        text = "\n".join(sections)
+    if stats is not None:
+        if args.format == "text":
+            text = f"{text}\n{stats.render()}"
+        else:
+            print(stats.render(), file=sys.stderr)
+    return text, (1 if total else 0)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -693,9 +693,14 @@ class StorageEngine:
 
     # ------------------------------------------------------------ snapshot
     def snapshot(self) -> dict:
-        """A deep copy of all data — the slave initial-sync payload."""
+        """A deep copy of all data — the slave initial-sync payload.
+
+        ``databases`` is a *sorted list*, not a set: the payload must
+        serialize identically across runs (and across hosts with
+        different hash seeds) for replay comparisons to hold.
+        """
         return {
-            "databases": set(self.databases),
+            "databases": sorted(self.databases),
             "default_database": self.default_database,
             "tables": copy.deepcopy(self.tables),
         }

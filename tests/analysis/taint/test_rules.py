@@ -1,0 +1,288 @@
+"""Per-TNT-rule suites: each rule fires on its canonical shape, stays
+silent on the sanitized shape, and honours blessings/suppressions."""
+
+
+def _codes(findings):
+    return [finding.rule_id for finding in findings]
+
+
+# ---------------------------------------------------------------------------
+# TNT001: nondeterministic value -> event scheduling.
+# ---------------------------------------------------------------------------
+
+TNT001_FIRE = """\
+import random
+
+
+def jitter():
+    return random.random()
+
+
+def proc(sim):
+    delay = jitter()
+    yield sim.timeout(delay)
+"""
+
+
+def test_tnt001_fires_through_a_helper(taint_project):
+    _model, findings = taint_project({"mod.py": TNT001_FIRE})
+    assert _codes(findings) == ["TNT001"]
+    finding = findings[0]
+    assert finding.line == 10
+    assert "random" in finding.message
+    # The taint path: the helper-call source plus the original draw.
+    notes = [note for _p, _l, _c, note in finding.related]
+    assert any(note.startswith("source:") for note in notes)
+
+
+def test_tnt001_silent_with_seeded_rng(taint_project):
+    _model, findings = taint_project({"mod.py": """\
+        import random
+
+        RNG = random.Random(42)
+
+
+        def proc(sim):
+            delay = RNG
+            yield sim.timeout(1.0)
+    """})
+    assert findings == []
+
+
+def test_tnt001_blessed_on_the_sink_line(taint_project):
+    source = TNT001_FIRE.replace(
+        "    yield sim.timeout(delay)",
+        "    yield sim.timeout(delay)  # simtaint: blessed=load-test-jitter")
+    _model, findings = taint_project({"mod.py": source})
+    assert findings == []
+
+
+def test_tnt001_blessed_on_the_source_line(taint_project):
+    source = TNT001_FIRE.replace(
+        "    return random.random()",
+        "    return random.random()  # simtaint: blessed=load-test-jitter")
+    _model, findings = taint_project({"mod.py": source})
+    assert findings == []
+
+
+def test_tnt001_suppressed_with_disable_pragma(taint_project):
+    source = TNT001_FIRE.replace(
+        "    yield sim.timeout(delay)",
+        "    yield sim.timeout(delay)  # simlint: disable=TNT001")
+    _model, findings = taint_project({"mod.py": source})
+    assert findings == []
+
+
+def test_tnt001_interprocedural_param_sink(taint_project):
+    # The sink lives in the callee; the report fires at the call site
+    # that hands the nondet value over, with the callee sink related.
+    _model, findings = taint_project({"mod.py": """\
+        import time
+
+
+        def schedule_in(sim, delay):
+            sim.timeout(delay)
+
+
+        def proc(sim):
+            schedule_in(sim, time.time())
+    """})
+    assert _codes(findings) == ["TNT001"]
+    finding = findings[0]
+    assert finding.line == 9
+    assert "schedule_in" in finding.message
+    notes = [note for _p, _l, _c, note in finding.related]
+    assert any(note.startswith("sink:") for note in notes)
+
+
+# ---------------------------------------------------------------------------
+# TNT002: nondeterministic value -> telemetry.
+# ---------------------------------------------------------------------------
+
+TNT002_FIRE = """\
+import os
+
+
+def report(tracer):
+    node = os.getenv("NODE")
+    tracer.instant(f"boot:{node}")
+"""
+
+
+def test_tnt002_fires_on_env_in_span_name(taint_project):
+    _model, findings = taint_project({"mod.py": TNT002_FIRE})
+    assert _codes(findings) == ["TNT002"]
+    assert findings[0].line == 6
+    assert "env" in findings[0].message
+
+
+def test_tnt002_silent_on_constant_name(taint_project):
+    _model, findings = taint_project({"mod.py": """\
+        def report(tracer):
+            tracer.instant("boot:fixed")
+    """})
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# TNT003: nondeterministic value -> artifact / replication payload.
+# ---------------------------------------------------------------------------
+
+TNT003_FIRE = """\
+import json
+import time
+
+
+def dump(handle, result):
+    stamped = {"value": result, "at": time.time()}
+    handle.write(json.dumps(stamped))
+"""
+
+
+def test_tnt003_fires_on_wallclock_in_artifact(taint_project):
+    _model, findings = taint_project({"mod.py": TNT003_FIRE})
+    assert "TNT003" in _codes(findings)
+    assert all(f.line == 7 for f in findings)
+
+
+def test_tnt003_silent_without_the_stamp(taint_project):
+    _model, findings = taint_project({"mod.py": """\
+        import json
+
+
+        def dump(handle, result):
+            handle.write(json.dumps({"value": result}))
+    """})
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# TNT004: unordered iteration -> ordered output.
+# ---------------------------------------------------------------------------
+
+TNT004_FIRE = """\
+def export(handle, names):
+    pending = set(names)
+    for name in pending:
+        handle.write(name)
+"""
+
+
+def test_tnt004_fires_on_set_iteration_into_writer(taint_project):
+    _model, findings = taint_project({"mod.py": TNT004_FIRE})
+    assert _codes(findings) == ["TNT004"]
+    assert findings[0].line == 4
+    assert "sort" in findings[0].message
+
+
+def test_tnt004_silent_when_sorted(taint_project):
+    source = TNT004_FIRE.replace("for name in pending:",
+                                 "for name in sorted(pending):")
+    _model, findings = taint_project({"mod.py": source})
+    assert findings == []
+
+
+def test_tnt004_membership_test_is_order_free(taint_project):
+    # A set used only for `in` checks imposes no order on the output.
+    _model, findings = taint_project({"mod.py": """\
+        def export(handle, rows, skip):
+            skipset = set(skip)
+            for row in rows:
+                if row in skipset:
+                    continue
+                handle.write(row)
+    """})
+    assert findings == []
+
+
+def test_tnt004_len_collapses_order(taint_project):
+    _model, findings = taint_project({"mod.py": """\
+        def export(handle, names):
+            handle.write(str(len(set(names))))
+    """})
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# TNT005: wall clock steering simulation logic.
+# ---------------------------------------------------------------------------
+
+TNT005_FIRE = """\
+import time
+
+
+def throttle(server):
+    started = time.perf_counter()
+    if time.perf_counter() - started > 0.5:
+        server.paused = True
+"""
+
+
+def test_tnt005_fires_on_wallclock_branch(taint_project):
+    _model, findings = taint_project({"mod.py": TNT005_FIRE})
+    assert "TNT005" in _codes(findings)
+    assert findings[0].line == 6
+
+
+def test_tnt005_fires_on_wallclock_state_store(taint_project):
+    _model, findings = taint_project({"mod.py": """\
+        import time
+
+
+        def stamp(server):
+            server.started_at = time.time()
+    """})
+    assert _codes(findings) == ["TNT005"]
+    assert "stores it into state" in findings[0].message
+
+
+def test_tnt005_silent_on_sim_time(taint_project):
+    _model, findings = taint_project({"mod.py": """\
+        def stamp(server, sim):
+            server.started_at = sim.now
+    """})
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Cross-cutting behaviour.
+# ---------------------------------------------------------------------------
+
+def test_rules_are_noops_without_a_model():
+    from repro.analysis.taint.rules import TAINT_RULES
+    from repro.analysis.config import LintConfig
+    from repro.analysis.visitor import LintContext
+    import ast
+
+    source = "import time\nx = time.time()\n"
+    context = LintContext("mod.py", source, ast.parse(source),
+                          LintConfig())
+    for cls in TAINT_RULES:
+        cls().check(context)
+    assert context.findings == []
+
+
+def test_taint_crosses_files(taint_project):
+    # Source in one module, sink in another: the summaries carry the
+    # taint across the import boundary.
+    _model, findings = taint_project({
+        "clocks.py": """\
+            import time
+
+
+            def stamp():
+                return time.time()
+        """,
+        "writer.py": """\
+            from clocks import stamp
+
+
+            def emit(tracer):
+                tracer.instant("tick", at=stamp())
+        """,
+    })
+    assert _codes(findings) == ["TNT002"]
+    (finding,) = findings
+    assert finding.path.endswith("writer.py")
+    related_paths = [path for path, _l, _c, _m in finding.related]
+    assert any(path.endswith("clocks.py") for path in related_paths)

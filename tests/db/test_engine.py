@@ -346,6 +346,20 @@ def test_snapshot_restore_round_trip(engine):
     assert other.checksum() != engine.checksum()
 
 
+def test_snapshot_databases_is_sorted_list(engine):
+    # The snapshot is the slave initial-sync payload: it must
+    # serialize identically across runs and hash seeds, so the
+    # database names travel as a sorted list, never a raw set.
+    engine.execute("CREATE DATABASE analytics")
+    engine.execute("CREATE DATABASE audit")
+    snapshot = engine.snapshot()
+    assert isinstance(snapshot["databases"], list)
+    assert snapshot["databases"] == sorted(snapshot["databases"])
+    other = StorageEngine(default_database="app")
+    other.restore(snapshot)
+    assert other.snapshot()["databases"] == snapshot["databases"]
+
+
 def test_snapshot_is_deep(engine):
     snapshot = engine.snapshot()
     engine.execute("UPDATE users SET karma = 1000 WHERE id = 1")
