@@ -13,6 +13,7 @@ and saves it under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -41,10 +42,42 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
+def _cell(token: str):
+    """A table cell: numeric where possible, verbatim otherwise."""
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        return token
+
+
+def table_as_json(name: str, text: str) -> str:
+    """Canonical-JSON rider for one rendered table.
+
+    The tables are whitespace-delimited (title line, header line, data
+    rows); the rider carries the same content machine-readably so
+    fig/ablation results can be diffed and plotted without re-parsing
+    print output.  Non-tabular blurbs degrade to title-only riders.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    title = lines[0] if lines else ""
+    header = lines[1].split() if len(lines) > 1 else []
+    rows = [[_cell(token) for token in line.split()]
+            for line in lines[2:]]
+    return json.dumps({"name": name, "title": title, "header": header,
+                       "rows": rows},
+                      sort_keys=True, separators=(",", ":"))
+
+
 def publish(results_dir: pathlib.Path, name: str, text: str) -> None:
-    """Print a rendered table and persist it."""
+    """Print a rendered table; persist it plus a canonical-JSON rider."""
     print(f"\n{text}\n")
     (results_dir / f"{name}.txt").write_text(text + "\n")
+    (results_dir / f"{name}.json").write_text(
+        table_as_json(name, text) + "\n")
 
 
 def run_once(benchmark, fn):

@@ -137,6 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--sanitize", action="store_true",
                        help="run with the sim-time race sanitizer "
                             "attached; exit 1 on any stale write-back")
+    trace.add_argument("--wall-profile", action="store_true",
+                       help="also attach the wall-clock profiler: "
+                            "per-subsystem attribution to stderr, "
+                            "wallprof.txt + wallprof.collapsed next "
+                            "to the trace artifacts")
     trace.set_defaults(handler=_run_trace)
 
     analyze = sub.add_parser(
@@ -180,7 +185,55 @@ def build_parser() -> argparse.ArgumentParser:
                        help="attach the sim-time race sanitizer; the "
                             "summary goes to stderr so stdout stays "
                             "byte-identical; exit 1 on any report")
+    chaos.add_argument("--wall-profile", action="store_true",
+                       help="also attach the wall-clock profiler "
+                            "(stderr table + wallprof artifacts under "
+                            "--out, stdout stays byte-identical)")
     chaos.set_defaults(handler=_run_chaos)
+
+    bench = sub.add_parser(
+        "bench", help="repro's perf trajectory: run the deterministic "
+                      "benchmark suite (kernel / sql / db / "
+                      "replication / e2e), write BENCH json, compare "
+                      "against a committed baseline")
+    bench.add_argument("--bench", action="append", default=None,
+                       metavar="NAME",
+                       help="run only this benchmark or family "
+                            "(repeatable; default: the whole suite)")
+    bench.add_argument("--list", action="store_true",
+                       help="list registered benchmarks and exit")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--scale", choices=sorted(_PROFILES),
+                       default="quick",
+                       help="workload size per bench (quick/standard/"
+                            "full, mirroring the experiment grids)")
+    bench.add_argument("--repeats", type=int, default=5,
+                       help="timed repeats per bench (default 5)")
+    bench.add_argument("--warmup", type=int, default=1,
+                       help="untimed warmup runs per bench (default 1)")
+    bench.add_argument("--out", default=None, metavar="FILE",
+                       help="write the canonical BENCH json document "
+                            "to FILE")
+    bench.add_argument("--compare", default=None, metavar="OLD",
+                       help="compare this run against a baseline "
+                            "BENCH json; exit 1 on regression")
+    bench.add_argument("--tolerance", type=float, default=10.0,
+                       metavar="PCT",
+                       help="allowed median slowdown before "
+                            "--compare fails (percent, default 10)")
+    bench.add_argument("--profile", action="store_true",
+                       help="attach the wall-clock profiler and print "
+                            "the per-subsystem attribution table "
+                            "(timings are then not comparable to "
+                            "unprofiled baselines)")
+    bench.add_argument("--profile-out", default=None, metavar="FILE",
+                       help="also write the collapsed-stack "
+                            "flamegraph file (implies --profile)")
+    bench.add_argument("--format", choices=("text", "json"),
+                       default="text",
+                       help="json prints the BENCH document (plus "
+                            "the compare report when --compare)")
+    bench.set_defaults(handler=_run_bench)
 
     lint = sub.add_parser(
         "lint", help="simlint: determinism / sim-safety / SQL / "
@@ -366,6 +419,41 @@ def _run_cell(args) -> str:
     ])
 
 
+def _wall_profile_run(enabled: bool):
+    """An attached-and-started WallProfiler, or None."""
+    if not enabled:
+        return None
+    from .perf import WallProfiler
+    profiler = WallProfiler()
+    profiler.start()
+    return profiler
+
+
+def _finish_wall_profile(profiler, out_dir, paths) -> None:
+    """Stop the profiler; stderr table + artifacts under ``out_dir``.
+
+    Wall timings are machine-dependent, so everything lands on stderr
+    / in side files — stdout stays byte-identical per seed.
+    """
+    import os
+    import sys
+
+    from .perf import render_wallprof
+    profiler.stop()
+    print(render_wallprof(profiler), file=sys.stderr)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        table_path = os.path.join(out_dir, "wallprof.txt")
+        with open(table_path, "w", encoding="utf-8") as handle:
+            handle.write(render_wallprof(profiler) + "\n")
+        collapsed_path = os.path.join(out_dir, "wallprof.collapsed")
+        with open(collapsed_path, "w", encoding="utf-8") as handle:
+            handle.write(profiler.collapsed() + "\n")
+        if paths is not None:
+            paths["wallprof.txt"] = table_path
+            paths["wallprof.collapsed"] = collapsed_path
+
+
 def _run_trace(args):
     import json
 
@@ -380,9 +468,12 @@ def _run_trace(args):
     if args.sanitize:
         from .analysis.race import RaceSanitizer
         sanitizer = RaceSanitizer()
+    wallprof = _wall_profile_run(args.wall_profile)
     result = run_experiment(config, observe=observe,
                             sanitizer=sanitizer)
     paths = observe.write_artifacts(args.out)
+    if wallprof is not None:
+        _finish_wall_profile(wallprof, args.out, paths)
     if args.format == "json":
         document = {
             "cell": {"location": args.location.value,
@@ -476,7 +567,10 @@ def _run_chaos(args):
     if args.sanitize:
         from .analysis.race import RaceSanitizer
         sanitizer = RaceSanitizer()
+    wallprof = _wall_profile_run(args.wall_profile)
     result = run_drill(config, observe=observe, sanitizer=sanitizer)
+    if wallprof is not None:
+        _finish_wall_profile(wallprof, args.out, None)
     if args.out:
         paths = observe.write_artifacts(args.out)
         import os
@@ -505,6 +599,77 @@ def _run_chaos(args):
         text += "\n" + "\n".join(
             f"wrote {paths[name]}" for name in sorted(paths))
     return text, code
+
+
+def _run_bench(args):
+    import json
+    import sys
+
+    from .perf import (bench_document, compare_documents,
+                       load_bench_file, registry, render_compare_json,
+                       render_compare_text, render_suite_text,
+                       render_wallprof, run_suite, write_bench_file)
+    if args.list:
+        lines = [f"{spec.name:<16s} [{spec.subsystem:<11s}] "
+                 f"{spec.description}"
+                 for spec in registry.all_benchmarks()]
+        return "\n".join(lines)
+    try:
+        specs = registry.resolve(args.bench)
+    except KeyError as error:
+        return f"repro bench: error: {error.args[0]}", 2
+    if args.repeats < 1 or args.warmup < 0:
+        return ("repro bench: error: --repeats must be >= 1 and "
+                "--warmup >= 0", 2)
+    profile = bool(args.profile or args.profile_out)
+    suite = run_suite(specs, seed=args.seed, scale=args.scale,
+                      repeats=args.repeats, warmup=args.warmup,
+                      profile=profile)
+    document = bench_document(suite)
+    if args.out:
+        write_bench_file(args.out, document)
+    if args.profile_out:
+        with open(args.profile_out, "w", encoding="utf-8") as handle:
+            handle.write(suite.profiler.collapsed() + "\n")
+    report = None
+    if args.compare:
+        try:
+            baseline = load_bench_file(args.compare)
+        except (OSError, ValueError) as error:
+            return f"repro bench: error: {error}", 2
+        selected = ({spec.name for spec in specs}
+                    if args.bench else None)
+        report = compare_documents(baseline, document,
+                                   tolerance_pct=args.tolerance,
+                                   only=selected)
+    code = report.exit_code if report is not None else 0
+    if args.format == "json":
+        payload = dict(document)
+        if report is not None:
+            payload["compare"] = json.loads(
+                render_compare_json(report))
+        if profile:
+            payload["wallProfile"] = suite.profiler.snapshot()
+        return (json.dumps(payload, sort_keys=True,
+                           separators=(",", ":")), code)
+    sections = [render_suite_text(suite)]
+    if profile:
+        sections.append("")
+        sections.append(render_wallprof(suite.profiler))
+    if args.out:
+        sections.append("")
+        sections.append(f"wrote {args.out}")
+    if args.profile_out:
+        sections.append(f"wrote {args.profile_out}")
+    if report is not None:
+        sections.append("")
+        sections.append(render_compare_text(report))
+    if profile and suite.profiler.attributed_share() < 0.95:
+        print(f"repro bench: warning: only "
+              f"{suite.profiler.attributed_share():.1%} of profiled "
+              f"wall time attributed to named subsystems",
+              file=sys.stderr)
+    return "\n".join(sections), code
 
 
 def _split_rule_lists(values: Optional[Sequence[str]]) -> list[str]:

@@ -1,0 +1,40 @@
+"""The performance-trajectory plane: ``python -m repro bench``.
+
+The paper's results are throughput curves; this package is the repo's
+wall-clock counterpart to the sim-time :class:`~repro.obs.KernelProfiler`:
+
+* :mod:`registry`/:mod:`benches` — a suite of named, seed-deterministic
+  micro/macro benchmarks (kernel event loop, Cloudstone query mix on
+  the storage engine, binlog encode/ship/apply, SQL parse, one quick
+  end-to-end cell).  Workload-shape counters are byte-stable per seed,
+  so two BENCH files from the same seed differ only in timings.
+* :mod:`harness` — warmup + N repeats per bench, min/median/CoV stats,
+  the canonical ``BENCH_<date>.json`` document (schema version, host
+  fingerprint, per-bench stats + counters).
+* :mod:`wallprof` — a ``sys.setprofile``-based :class:`WallProfiler`
+  that attributes wall time to repro subsystems (``sim``, ``db``,
+  ``replication``, …) and emits a collapsed-stack flamegraph file.
+* :mod:`compare` — ``repro bench --compare OLD.json``: per-bench delta
+  table, exit 1 on regression; the repo commits one BENCH file per
+  perf-relevant PR so every change shows a trajectory.
+"""
+
+from .compare import (CompareReport, compare_documents,
+                      load_bench_file, render_compare_json,
+                      render_compare_text)
+from .harness import (SCHEMA_VERSION, BenchResult, BenchStats,
+                      SuiteResult, bench_document, render_suite_text,
+                      run_suite, stable_view, write_bench_file)
+from .registry import BenchSpec, all_benchmarks, get_benchmark, register
+from .wallprof import WallProfiler, render_wallprof
+from . import benches  # noqa: F401  (registers the standard suite)
+
+__all__ = [
+    "SCHEMA_VERSION", "CompareReport", "compare_documents",
+    "load_bench_file", "render_compare_json", "render_compare_text",
+    "BenchResult", "BenchStats", "SuiteResult", "bench_document",
+    "render_suite_text", "run_suite", "stable_view",
+    "write_bench_file",
+    "BenchSpec", "all_benchmarks", "get_benchmark", "register",
+    "WallProfiler", "render_wallprof",
+]

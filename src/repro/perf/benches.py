@@ -1,0 +1,258 @@
+"""The standard benchmark suite.
+
+Five benches cover the hot paths the ROADMAP's raw-speed flywheel
+targets, each seed-deterministic in its workload shape:
+
+* ``kernel.events`` — the sim kernel's event loop under a seeded
+  timeout storm (events per wall-second);
+* ``sql.parse`` — the SQL parser over the fixed Cloudstone statement
+  mix;
+* ``db.query_mix`` — :class:`~repro.db.engine.StorageEngine` statement
+  execution over the same mix against a loaded Cloudstone database;
+* ``repl.binlog`` — binlog encode (append), ship (wire-size walk) and
+  apply (re-parse + re-execute on a slave engine);
+* ``e2e.cell`` — one quick end-to-end experiment cell
+  (:func:`~repro.experiments.runner.run_experiment`).
+
+Every factory sizes its workload from the scale profile (quick /
+standard / full) and returns counters that are a pure function of
+``(seed, scale)``.
+"""
+
+from __future__ import annotations
+
+from ..db.binlog import Binlog
+from ..db.engine import StorageEngine
+from ..experiments.config import PAPER_50_50, LocationConfig
+from ..sim import RandomStreams, Simulator
+from ..sql.parser import parse
+from ..workloads.cloudstone import Phases, load_initial_data
+from ..workloads.cloudstone.mix import MIX_50_50, OperationMix
+from ..workloads.cloudstone.schema import TAG_COUNT
+from ..workloads.cloudstone.state import WorkloadState
+from .registry import SCALES, BenchCase, register
+
+__all__ = ["statement_corpus"]
+
+#: Write-only mix for the replication bench (only writes replicate).
+_WRITES_ONLY = OperationMix("writes", read_fraction=0.0)
+
+
+def statement_corpus(seed: int, n_operations: int,
+                     mix: OperationMix = MIX_50_50,
+                     stream: str = "perf.corpus") -> list[str]:
+    """The SQL text of ``n_operations`` seeded Cloudstone operations.
+
+    The corpus is the fixed statement mix every SQL-facing bench runs:
+    same ``(seed, n_operations, mix)`` -> byte-identical statements.
+    """
+    streams = RandomStreams(seed)
+    rng = streams.stream(stream)
+    state = WorkloadState(n_users=200, n_events=200, n_tags=TAG_COUNT)
+    statements: list[str] = []
+    for _ in range(n_operations):
+        operation = mix.pick(rng)
+        statements.extend(operation.build(state, rng))
+        operation.on_complete(state)
+    return statements
+
+
+class _EngineShim:
+    """Adapts a bare :class:`StorageEngine` to the loader's ``admin``
+    surface (the loader normally talks to a DatabaseServer)."""
+
+    def __init__(self, engine: StorageEngine):
+        self.engine = engine
+
+    def admin(self, sql: str, database=None):
+        return self.engine.execute(sql, database=database)
+
+
+def _loaded_engine(seed: int, data_size: int) -> StorageEngine:
+    """A fresh engine holding the seeded Cloudstone dataset."""
+    engine = StorageEngine(default_database="cloudstone")
+    streams = RandomStreams(seed)
+    load_initial_data(_EngineShim(engine), data_size,
+                      streams.stream("perf.load"))
+    return engine
+
+
+# ------------------------------------------------------------- kernel
+@register("kernel.events", subsystem="sim", unit="events",
+          description="sim kernel event loop on a seeded timeout "
+                      "storm (plus AnyOf joins every 16th step)")
+def _kernel_events(seed: int, scale: str) -> BenchCase:
+    class Storm(BenchCase):
+        n_processes = 50
+        iterations = 160 * SCALES[scale]
+
+        def prepare(self):
+            sim = Simulator()
+            streams = RandomStreams(seed)
+            executed = [0]
+
+            def storm(sim, rng, iterations):
+                for step in range(iterations):
+                    delay = float(rng.random()) * 0.01
+                    if step % 16 == 15:
+                        # Exercise the composite-event path too.
+                        yield sim.any_of([sim.timeout(delay),
+                                          sim.timeout(delay * 2.0)])
+                    else:
+                        yield sim.timeout(delay)
+                    executed[0] += 1
+
+            for index in range(self.n_processes):
+                rng = streams.spawn("perf.kernel", index)
+                sim.process(storm(sim, rng, self.iterations),
+                            name=f"storm-{index}")
+
+            def run():
+                sim.run()
+                return {"events": executed[0],
+                        "processes": self.n_processes,
+                        "sim_time_us": int(round(sim.now * 1e6))}
+            return run
+    return Storm()
+
+
+# ---------------------------------------------------------------- sql
+@register("sql.parse", subsystem="sql", unit="statements",
+          description="SQL parse over the fixed Cloudstone statement "
+                      "mix (50/50)")
+def _sql_parse(seed: int, scale: str) -> BenchCase:
+    class Parse(BenchCase):
+        corpus = statement_corpus(seed, 60 * SCALES[scale])
+
+        def prepare(self):
+            corpus = self.corpus
+
+            def run():
+                for text in corpus:
+                    parse(text)
+                return {"statements": len(corpus),
+                        "chars": sum(len(text) for text in corpus)}
+            return run
+    return Parse()
+
+
+# ----------------------------------------------------------------- db
+@register("db.query_mix", subsystem="db", unit="statements",
+          description="StorageEngine execution of the Cloudstone "
+                      "50/50 mix against a loaded dataset")
+def _db_query_mix(seed: int, scale: str) -> BenchCase:
+    class QueryMix(BenchCase):
+        data_size = 30 * SCALES[scale]
+        corpus = statement_corpus(seed, 100 * SCALES[scale])
+
+        def prepare(self):
+            # A fresh engine per repeat: the mix mutates the dataset,
+            # so re-running on the same engine would change the shape.
+            engine = _loaded_engine(seed, self.data_size)
+            corpus = self.corpus
+
+            def run():
+                examined = returned = affected = commits = 0
+                for text in corpus:
+                    outcome = engine.execute(text,
+                                             database="cloudstone")
+                    examined += outcome.profile.rows_examined
+                    returned += outcome.profile.rows_returned
+                    affected += outcome.profile.rows_affected
+                    commits += len(outcome.committed)
+                return {"statements": len(corpus),
+                        "rows_examined": examined,
+                        "rows_returned": returned,
+                        "rows_affected": affected,
+                        "commits": commits}
+            return run
+    return QueryMix()
+
+
+# --------------------------------------------------------- replication
+@register("repl.binlog", subsystem="replication", unit="events",
+          description="binlog encode + wire-size ship + statement "
+                      "re-execution apply on a slave engine")
+def _repl_binlog(seed: int, scale: str) -> BenchCase:
+    class BinlogPipeline(BenchCase):
+        data_size = 30 * SCALES[scale]
+
+        def __init__(self):
+            # Committed (text, database) pairs are collected once on a
+            # master-side engine; the timed phase re-ships them.
+            master = _loaded_engine(seed, self.data_size)
+            self.committed: list[tuple[str, str]] = []
+            for text in statement_corpus(seed, 150 * SCALES[scale],
+                                         mix=_WRITES_ONLY,
+                                         stream="perf.binlog"):
+                outcome = master.execute(text, database="cloudstone")
+                self.committed.extend(outcome.committed)
+
+        def prepare(self):
+            slave = _loaded_engine(seed, self.data_size)
+            binlog = Binlog(Simulator(), server_id=1)
+            committed = self.committed
+
+            def run():
+                shipped_bytes = 0
+                for text, database in committed:
+                    event = binlog.append(text, database,
+                                          commit_wallclock=0.0)
+                    shipped_bytes += event.size_bytes
+                applied_rows = 0
+                cursor = 0
+                while True:
+                    chunk = binlog.read_from(cursor, max_events=64)
+                    if not chunk:
+                        break
+                    cursor += len(chunk)
+                    for event in chunk:
+                        outcome = slave.execute(
+                            parse(event.statement),
+                            database=event.database)
+                        applied_rows += outcome.profile.rows_affected
+                return {"events": binlog.head_position,
+                        "bytes": shipped_bytes,
+                        "rows_applied": applied_rows}
+            return run
+    return BinlogPipeline()
+
+
+# ---------------------------------------------------------------- e2e
+_E2E_SIZES = {
+    # scale -> (users, phase time factor, baseline seconds)
+    "quick": (10, 0.02, 5.0),
+    "standard": (20, 0.05, 10.0),
+    "full": (50, 0.10, 20.0),
+}
+
+
+@register("e2e.cell", subsystem="experiments", unit="operations",
+          description="one quick end-to-end cell: cloud + replication "
+                      "tree + Cloudstone users through run_experiment")
+def _e2e_cell(seed: int, scale: str) -> BenchCase:
+    class Cell(BenchCase):
+        users, factor, baseline = _E2E_SIZES[scale]
+
+        def prepare(self):
+            from ..experiments.runner import run_experiment
+            config = PAPER_50_50(
+                LocationConfig.SAME_ZONE, 1, self.users,
+                Phases().scaled(self.factor), seed=seed,
+                baseline_duration=self.baseline)
+
+            def run():
+                result = run_experiment(config)
+                return {
+                    "users": self.users,
+                    "slaves": 1,
+                    "operations": int(round(result.throughput
+                                            * config.phases.steady)),
+                    "heartbeats": sum(result.heartbeat_counts),
+                    "throughput_milli_ops":
+                        int(round(result.throughput * 1000.0)),
+                    "mean_latency_us":
+                        int(round(result.mean_latency_s * 1e6)),
+                }
+            return run
+    return Cell()

@@ -1,0 +1,184 @@
+"""``repro bench --compare OLD.json``: the perf-trajectory gate.
+
+Compares a freshly-measured BENCH document against a committed
+baseline, bench by bench, on the median repeat time:
+
+* ``delta > +tolerance`` %  -> **regression** (exit 1);
+* ``delta < -tolerance`` %  -> improvement (reported, exit 0);
+* baseline benches missing from the new run -> failure (a renamed or
+  deleted bench silently breaks the trajectory);
+* schema-version mismatch -> failure (documents are not comparable);
+* CoV above the noise limit on either side -> the row is flagged
+  ``noisy`` (warning only — a noisy median is still a median);
+* counter drift at equal seed/scale -> flagged ``shape-drift``
+  (warning: the two runs did not execute the same workload, so the
+  delta measures workload change, not speed).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .harness import DEFAULT_COV_LIMIT, SCHEMA_VERSION
+
+__all__ = ["CompareRow", "CompareReport", "compare_documents",
+           "load_bench_file", "render_compare_text",
+           "render_compare_json"]
+
+
+@dataclass
+class CompareRow:
+    """One bench's delta."""
+
+    name: str
+    status: str                    # ok | faster | REGRESSION | missing | new
+    old_median_s: float = 0.0
+    new_median_s: float = 0.0
+    delta_pct: float = 0.0
+    warnings: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "status": self.status,
+                "old_median_s": self.old_median_s,
+                "new_median_s": self.new_median_s,
+                "delta_pct": self.delta_pct,
+                "warnings": list(self.warnings)}
+
+
+@dataclass
+class CompareReport:
+    """The full comparison outcome."""
+
+    tolerance_pct: float
+    rows: list[CompareRow] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[CompareRow]:
+        return [row for row in self.rows
+                if row.status in ("REGRESSION", "missing")]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors or self.regressions else 0
+
+
+def load_bench_file(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) \
+            or document.get("schema") != "repro-bench":
+        raise ValueError(f"{path}: not a repro-bench document")
+    return document
+
+
+def compare_documents(old: dict, new: dict, tolerance_pct: float,
+                      cov_limit: float = DEFAULT_COV_LIMIT,
+                      only=None) -> CompareReport:
+    """Delta of ``new`` against baseline ``old`` (see module doc).
+
+    ``only`` (a collection of bench names) restricts the baseline
+    side: a *selected* bench absent from the new run is still a
+    failure, but comparing a partial ``--bench`` run against a full
+    baseline does not flag the unselected rest as missing.
+    """
+    report = CompareReport(tolerance_pct=tolerance_pct)
+    old_version = old.get("schemaVersion")
+    new_version = new.get("schemaVersion")
+    if old_version != SCHEMA_VERSION or new_version != SCHEMA_VERSION:
+        report.errors.append(
+            f"schema version mismatch: baseline v{old_version}, "
+            f"new v{new_version}, tool v{SCHEMA_VERSION} — "
+            f"re-measure the baseline with this tool")
+        return report
+    old_benches = old.get("benchmarks", {})
+    new_benches = new.get("benchmarks", {})
+    if only is not None:
+        only = set(only) | set(new_benches)
+        old_benches = {name: bench
+                       for name, bench in old_benches.items()
+                       if name in only}
+    same_shape = (old.get("run", {}).get("seed")
+                  == new.get("run", {}).get("seed")
+                  and old.get("run", {}).get("scale")
+                  == new.get("run", {}).get("scale"))
+    for name in sorted(old_benches.keys() | new_benches.keys()):
+        if name not in new_benches:
+            report.rows.append(CompareRow(
+                name=name, status="missing",
+                old_median_s=old_benches[name]["stats"]["median_s"],
+                warnings=[f"baseline bench {name!r} was not run — "
+                          f"renamed or deleted?"]))
+            continue
+        if name not in old_benches:
+            report.rows.append(CompareRow(
+                name=name, status="new",
+                new_median_s=new_benches[name]["stats"]["median_s"],
+                warnings=["no baseline yet"]))
+            continue
+        old_stats = old_benches[name]["stats"]
+        new_stats = new_benches[name]["stats"]
+        old_median = float(old_stats["median_s"])
+        new_median = float(new_stats["median_s"])
+        delta_pct = ((new_median - old_median) / old_median * 100.0
+                     if old_median > 0.0 else 0.0)
+        warnings = []
+        for side, stats in (("baseline", old_stats), ("new", new_stats)):
+            if float(stats.get("cov", 0.0)) > cov_limit:
+                warnings.append(
+                    f"noisy: {side} CoV "
+                    f"{float(stats['cov']):.2f} > {cov_limit:.2f}")
+        if same_shape and old_benches[name].get("counters") \
+                != new_benches[name].get("counters"):
+            warnings.append("shape-drift: counters differ at equal "
+                            "seed/scale — workload changed, delta is "
+                            "not a pure speed measurement")
+        if delta_pct > tolerance_pct:
+            status = "REGRESSION"
+        elif delta_pct < -tolerance_pct:
+            status = "faster"
+        else:
+            status = "ok"
+        report.rows.append(CompareRow(
+            name=name, status=status, old_median_s=old_median,
+            new_median_s=new_median, delta_pct=delta_pct,
+            warnings=warnings))
+    return report
+
+
+def render_compare_text(report: CompareReport) -> str:
+    lines = [f"bench compare — tolerance ±{report.tolerance_pct:.0f}% "
+             f"on the median repeat"]
+    for error in report.errors:
+        lines.append(f"error: {error}")
+    if report.rows:
+        lines.append(f"{'benchmark':<16s} {'baseline':>10s} "
+                     f"{'new':>10s} {'delta':>8s}  status")
+        for row in report.rows:
+            old_text = (f"{row.old_median_s:>10.4f}"
+                        if row.status != "new" else f"{'—':>10s}")
+            new_text = (f"{row.new_median_s:>10.4f}"
+                        if row.status != "missing" else f"{'—':>10s}")
+            delta_text = (f"{row.delta_pct:>+7.1f}%"
+                          if row.status in ("ok", "faster",
+                                            "REGRESSION")
+                          else f"{'—':>8s}")
+            lines.append(f"{row.name:<16s} {old_text} {new_text} "
+                         f"{delta_text}  {row.status}")
+            for warning in row.warnings:
+                lines.append(f"{'':<16s} ^ {warning}")
+    verdict = ("FAIL" if report.exit_code else "ok")
+    lines.append(f"bench compare: {verdict} "
+                 f"({len(report.regressions)} regression(s), "
+                 f"{len(report.errors)} error(s))")
+    return "\n".join(lines)
+
+
+def render_compare_json(report: CompareReport) -> str:
+    return json.dumps({
+        "tolerance_pct": report.tolerance_pct,
+        "errors": list(report.errors),
+        "rows": [row.as_dict() for row in report.rows],
+        "exit_code": report.exit_code,
+    }, sort_keys=True, separators=(",", ":"))

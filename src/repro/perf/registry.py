@@ -1,0 +1,95 @@
+"""Benchmark registry.
+
+A benchmark is a named factory: ``factory(seed, scale)`` builds a
+:class:`BenchCase` whose :meth:`~BenchCase.prepare` is called before
+*every* timed repeat and returns the closure the harness times.  The
+closure returns the bench's workload-shape counters (events simulated,
+queries executed, rows applied, …), which must be a pure function of
+``(seed, scale)`` — the harness asserts they are identical across
+repeats, which is what makes two BENCH files from the same seed
+comparable byte-for-byte outside the timing fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["BenchCase", "BenchSpec", "register", "get_benchmark",
+           "all_benchmarks", "resolve", "SCALES"]
+
+#: Workload-size multiplier per scale profile (mirrors the experiment
+#: grid's quick/standard/full convention).
+SCALES = {"quick": 1, "standard": 4, "full": 16}
+
+
+class BenchCase:
+    """One prepared benchmark instance for one (seed, scale)."""
+
+    def prepare(self) -> Callable[[], dict]:
+        """Build fresh per-repeat state; return the timed closure.
+
+        The closure's return value is the counters dict (str -> int or
+        str -> float where the float is seed-deterministic).
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """Registry entry for one named benchmark."""
+
+    name: str               # e.g. "kernel.events"
+    subsystem: str          # attribution bucket: sim | db | ...
+    unit: str               # the counter the rate is derived from
+    description: str
+    factory: Callable[[int, str], BenchCase]
+
+
+_REGISTRY: dict[str, BenchSpec] = {}
+
+
+def register(name: str, subsystem: str, unit: str,
+             description: str) -> Callable:
+    """Decorator: register ``factory(seed, scale) -> BenchCase``."""
+    def wrap(factory: Callable[[int, str], BenchCase]):
+        if name in _REGISTRY:
+            raise ValueError(f"benchmark {name!r} is already registered")
+        _REGISTRY[name] = BenchSpec(name=name, subsystem=subsystem,
+                                    unit=unit, description=description,
+                                    factory=factory)
+        return factory
+    return wrap
+
+
+def get_benchmark(name: str) -> BenchSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown benchmark {name!r} "
+                       f"(known: {known})") from None
+
+
+def all_benchmarks() -> list[BenchSpec]:
+    """Every registered benchmark, name-sorted (stable run order)."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def resolve(names: Optional[list[str]]) -> list[BenchSpec]:
+    """Specs for ``names`` (prefix match on ``.``-families), or the
+    whole suite when ``names`` is falsy."""
+    if not names:
+        return all_benchmarks()
+    specs: dict[str, BenchSpec] = {}
+    for pattern in names:
+        matched = [spec for spec in all_benchmarks()
+                   if spec.name == pattern
+                   or spec.name.startswith(pattern + ".")]
+        if not matched:
+            known = ", ".join(sorted(_REGISTRY))
+            raise KeyError(f"unknown benchmark {pattern!r} "
+                           f"(known: {known})")
+        for spec in matched:
+            specs[spec.name] = spec
+    return [specs[name] for name in sorted(specs)]

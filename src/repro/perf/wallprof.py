@@ -1,0 +1,223 @@
+"""Wall-clock profiler with subsystem attribution.
+
+The sim-time :class:`~repro.obs.kernelprof.KernelProfiler` says where
+*simulated* time went; :class:`WallProfiler` is its wall-clock
+complement: a ``sys.setprofile`` hook that charges every interval of
+real time to the function on top of the Python stack, maps each
+function onto a repro subsystem (``sim``, ``db``, ``replication``,
+``sql``, ``obs``, ``workloads``, …) by its source path, and reports
+
+* a per-subsystem exclusive wall-time table (the buckets sum exactly
+  to the profiled wall time, so shares telescope to 100 %), and
+* a collapsed-stack file (``a;b;c <microseconds>`` per line) loadable
+  by any flamegraph renderer (e.g. speedscope, flamegraph.pl).
+
+The profiler is wall-clock *measurement* infrastructure, never an
+input to simulation logic, so its clock reads are blessed for the
+determinism gates (TNT005 stays strict everywhere else).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import sysconfig
+import time
+from typing import Optional
+
+__all__ = ["WallProfiler", "render_wallprof"]
+
+#: Subsystems that count as "named" for the attribution share; the
+#: catch-all bucket is ``other``.
+_OTHER = "other"
+
+_STDLIB_DIR = sysconfig.get_paths().get("stdlib") or ""
+_REPRO_MARKER = os.sep + os.path.join("repro", "")
+
+
+def _subsystem_of(filename: str) -> str:
+    """Map a source path onto an attribution bucket."""
+    if not filename or filename.startswith("<"):
+        # <string>, <frozen importlib...>, builtins.
+        return "stdlib"
+    if "site-packages" in filename or "dist-packages" in filename:
+        for marker in ("site-packages", "dist-packages"):
+            index = filename.find(marker)
+            if index >= 0:
+                rest = filename[index + len(marker) + 1:]
+                return rest.split(os.sep, 1)[0].split(".", 1)[0] \
+                    or _OTHER
+    index = filename.rfind(_REPRO_MARKER)
+    if index >= 0:
+        rest = filename[index + len(_REPRO_MARKER):]
+        head = rest.split(os.sep, 1)
+        if len(head) == 1:
+            # Top-level modules: cli.py, metrics.py, __main__.py.
+            return "cli"
+        return head[0]
+    if _STDLIB_DIR and filename.startswith(_STDLIB_DIR):
+        return "stdlib"
+    return _OTHER
+
+
+class WallProfiler:
+    """Exclusive wall-time per subsystem + collapsed call stacks.
+
+    Use as a context manager around the code to profile::
+
+        profiler = WallProfiler()
+        with profiler:
+            run()
+        print(render_wallprof(profiler))
+    """
+
+    #: Collapse keys are capped at this stack depth (deep recursion
+    #: otherwise explodes the collapsed-stack table).
+    MAX_STACK = 48
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        #: subsystem -> [exclusive seconds, events]
+        self._buckets: dict[str, list] = {}
+        #: tuple(label, ...) -> exclusive seconds
+        self._stacks: dict[tuple, float] = {}
+        #: live stack of (label, subsystem)
+        self._stack: list[tuple[str, str]] = []
+        self._label_cache: dict[str, tuple[str, str]] = {}
+        self._last: Optional[float] = None
+        self._active = False
+        self.wall_time = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self._active:
+            raise RuntimeError("WallProfiler is already running")
+        self._active = True
+        self._stack.clear()
+        self._last = self._clock()  # simlint: disable=DET001  # simtaint: blessed=wall-clock-profiler-measurement
+        sys.setprofile(self._hook)
+
+    def stop(self) -> None:
+        if not self._active:
+            return
+        sys.setprofile(None)
+        self._charge(self._clock())  # simlint: disable=DET001  # simtaint: blessed=wall-clock-profiler-measurement
+        self._active = False
+        self.wall_time = sum(entry[0]
+                             for entry in self._buckets.values())
+
+    def __enter__(self) -> "WallProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the hook ----------------------------------------------------------
+    def _charge(self, now: float) -> None:
+        """Charge the interval since the last event to the stack top."""
+        elapsed = now - self._last
+        self._last = now
+        if elapsed <= 0.0:
+            return
+        if self._stack:
+            label, subsystem = self._stack[-1]
+        else:
+            label, subsystem = "<harness>", "perf"
+        entry = self._buckets.get(subsystem)
+        if entry is None:
+            self._buckets[subsystem] = [elapsed, 1]
+        else:
+            entry[0] += elapsed
+            entry[1] += 1
+        key = tuple(frame[0]
+                    for frame in self._stack[-self.MAX_STACK:]) \
+            or ("<harness>",)
+        self._stacks[key] = self._stacks.get(key, 0.0) + elapsed
+
+    def _label_python(self, code) -> tuple[str, str]:
+        filename = code.co_filename
+        cached = self._label_cache.get(filename)
+        if cached is None:
+            subsystem = _subsystem_of(filename)
+            module = os.path.splitext(os.path.basename(filename))[0]
+            cached = (f"{subsystem}.{module}", subsystem)
+            self._label_cache[filename] = cached
+        prefix, subsystem = cached
+        return f"{prefix}:{code.co_name}", subsystem
+
+    def _hook(self, frame, event, arg) -> None:
+        now = self._clock()  # simlint: disable=DET001  # simtaint: blessed=wall-clock-profiler-measurement
+        self._charge(now)
+        if event == "call":
+            self._stack.append(self._label_python(frame.f_code))
+        elif event == "return":
+            if self._stack:
+                self._stack.pop()
+        elif event == "c_call":
+            module = getattr(arg, "__module__", None) or "builtins"
+            subsystem = module.split(".", 1)[0]
+            if subsystem not in ("builtins", "numpy"):
+                subsystem = "stdlib"
+            name = getattr(arg, "__qualname__", None) \
+                or getattr(arg, "__name__", "<c>")
+            self._stack.append((f"{subsystem}:{name}", subsystem))
+        elif event in ("c_return", "c_exception"):
+            if self._stack:
+                self._stack.pop()
+        # Exclude the hook's own bookkeeping from the next interval.
+        self._last = self._clock()  # simlint: disable=DET001  # simtaint: blessed=wall-clock-profiler-measurement
+
+    # -- results -----------------------------------------------------------
+    def rows(self) -> list[dict]:
+        """Per-subsystem exclusive wall time, largest first."""
+        total = self.wall_time or 1.0
+        return [
+            {"subsystem": subsystem, "wall_s": entry[0],
+             "events": entry[1], "share": entry[0] / total}
+            for subsystem, entry in sorted(
+                self._buckets.items(),
+                key=lambda kv: (-kv[1][0], kv[0]))]
+
+    def attributed_share(self) -> float:
+        """Fraction of profiled wall time in *named* subsystems
+        (everything except the ``other`` catch-all)."""
+        if not self.wall_time:
+            return 1.0
+        unnamed = self._buckets.get(_OTHER, [0.0])[0]
+        return 1.0 - unnamed / self.wall_time
+
+    def snapshot(self) -> dict:
+        return {"wall_s": self.wall_time,
+                "attributed_share": self.attributed_share(),
+                "rows": self.rows()}
+
+    def collapsed(self) -> str:
+        """The flamegraph input: ``frame;frame;... <microseconds>``
+        per line, alphabetical (byte-stable for equal timings)."""
+        lines = []
+        for key in sorted(self._stacks):
+            micros = int(round(self._stacks[key] * 1e6))
+            if micros > 0:
+                lines.append(f"{';'.join(key)} {micros}")
+        return "\n".join(lines)
+
+
+def render_wallprof(profiler: WallProfiler,
+                    max_rows: int = 20) -> str:
+    """The per-subsystem wall-time attribution table."""
+    rows = profiler.rows()
+    lines = [
+        "wall-clock profile (exclusive time per repro subsystem)",
+        f"{'subsystem':<16s} {'events':>10s} {'wall-s':>10s} "
+        f"{'share':>7s}",
+    ]
+    for row in rows[:max_rows]:
+        lines.append(f"{row['subsystem']:<16s} {row['events']:>10d} "
+                     f"{row['wall_s']:>10.4f} {row['share']:>6.1%}")
+    if len(rows) > max_rows:
+        lines.append(f"... {len(rows) - max_rows} more row(s)")
+    lines.append(f"{'total':<16s} {'':>10s} "
+                 f"{profiler.wall_time:>10.4f} "
+                 f"{profiler.attributed_share():>6.1%} attributed")
+    return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""`--compare` regression gate: tolerance edges, missing benches,
+schema drift, noise flags."""
+
+import json
+
+import pytest
+
+from repro.perf import (SCHEMA_VERSION, compare_documents,
+                        load_bench_file, render_compare_json,
+                        render_compare_text)
+
+
+def doc(medians: dict, *, version=SCHEMA_VERSION, seed=0,
+        scale="quick", cov=0.01, counters=None) -> dict:
+    """A minimal repro-bench document with the given medians."""
+    return {
+        "schema": "repro-bench",
+        "schemaVersion": version,
+        "host": {"python": "3.x"},
+        "run": {"seed": seed, "scale": scale, "repeats": 5,
+                "warmup": 1},
+        "benchmarks": {
+            name: {
+                "subsystem": "sim", "unit": "events",
+                "counters": dict(counters or {"events": 100}),
+                "stats": {"min_s": median, "median_s": median,
+                          "mean_s": median, "cov": cov, "repeats": 5},
+                "rate_per_s": 100.0 / median,
+            }
+            for name, median in medians.items()
+        },
+    }
+
+
+def row(report, name):
+    return next(r for r in report.rows if r.name == name)
+
+
+def test_identical_documents_pass():
+    base = doc({"a": 1.0, "b": 2.0})
+    report = compare_documents(base, doc({"a": 1.0, "b": 2.0}),
+                               tolerance_pct=10.0)
+    assert report.exit_code == 0
+    assert [r.status for r in report.rows] == ["ok", "ok"]
+
+
+def test_injected_slowdown_fails():
+    report = compare_documents(doc({"a": 1.0}), doc({"a": 1.5}),
+                               tolerance_pct=10.0)
+    assert report.exit_code == 1
+    assert row(report, "a").status == "REGRESSION"
+    assert row(report, "a").delta_pct == pytest.approx(50.0)
+
+
+def test_tolerance_edge_is_inclusive():
+    """delta == tolerance passes; only strictly-beyond fails.
+
+    Binary-exact medians (1.25 = 1 + 1/4) so the delta computes to
+    exactly 25.0 with no float fuzz at the edge.
+    """
+    at_edge = compare_documents(doc({"a": 1.0}), doc({"a": 1.25}),
+                                tolerance_pct=25.0)
+    assert row(at_edge, "a").status == "ok"
+    assert at_edge.exit_code == 0
+    past_edge = compare_documents(doc({"a": 1.0}), doc({"a": 1.2501}),
+                                  tolerance_pct=25.0)
+    assert row(past_edge, "a").status == "REGRESSION"
+    assert past_edge.exit_code == 1
+
+
+def test_speedup_reports_faster_and_passes():
+    report = compare_documents(doc({"a": 1.0}), doc({"a": 0.5}),
+                               tolerance_pct=10.0)
+    assert row(report, "a").status == "faster"
+    assert report.exit_code == 0
+
+
+def test_missing_baseline_bench_fails():
+    """A renamed/deleted bench silently breaks the trajectory."""
+    report = compare_documents(doc({"a": 1.0, "gone": 1.0}),
+                               doc({"a": 1.0}), tolerance_pct=10.0)
+    assert report.exit_code == 1
+    assert row(report, "gone").status == "missing"
+    assert "renamed or deleted" in row(report, "gone").warnings[0]
+
+
+def test_renamed_bench_is_both_missing_and_new():
+    report = compare_documents(doc({"old.name": 1.0}),
+                               doc({"new.name": 1.0}),
+                               tolerance_pct=10.0)
+    assert row(report, "old.name").status == "missing"
+    assert row(report, "new.name").status == "new"
+    assert report.exit_code == 1
+
+
+def test_new_bench_passes():
+    report = compare_documents(doc({"a": 1.0}),
+                               doc({"a": 1.0, "fresh": 1.0}),
+                               tolerance_pct=10.0)
+    assert row(report, "fresh").status == "new"
+    assert report.exit_code == 0
+
+
+def test_schema_version_mismatch_fails_without_rows():
+    report = compare_documents(doc({"a": 1.0}, version=0),
+                               doc({"a": 9.0}), tolerance_pct=10.0)
+    assert report.exit_code == 1
+    assert report.rows == []
+    assert "schema version mismatch" in report.errors[0]
+
+
+def test_high_cov_warns_but_does_not_fail():
+    report = compare_documents(doc({"a": 1.0}, cov=0.9),
+                               doc({"a": 1.0}), tolerance_pct=10.0)
+    assert report.exit_code == 0
+    warnings = row(report, "a").warnings
+    assert any("noisy: baseline" in w for w in warnings)
+    assert not any("noisy: new" in w for w in warnings)
+
+
+def test_counter_drift_at_equal_seed_warns_shape_drift():
+    report = compare_documents(
+        doc({"a": 1.0}, counters={"events": 100}),
+        doc({"a": 1.0}, counters={"events": 999}),
+        tolerance_pct=10.0)
+    assert any("shape-drift" in w for w in row(report, "a").warnings)
+    # Different seed: the counters are *expected* to differ.
+    report = compare_documents(
+        doc({"a": 1.0}, counters={"events": 100}),
+        doc({"a": 1.0}, seed=1, counters={"events": 999}),
+        tolerance_pct=10.0)
+    assert not row(report, "a").warnings
+
+
+def test_only_filter_skips_unselected_baseline_benches():
+    """A partial --bench run must not flag the rest as missing."""
+    base = doc({"a": 1.0, "b": 1.0, "c": 1.0})
+    partial = doc({"a": 1.0})
+    unfiltered = compare_documents(base, partial, tolerance_pct=10.0)
+    assert unfiltered.exit_code == 1
+    filtered = compare_documents(base, partial, tolerance_pct=10.0,
+                                 only={"a"})
+    assert filtered.exit_code == 0
+    assert [r.name for r in filtered.rows] == ["a"]
+
+
+def test_only_filter_still_fails_selected_missing_bench():
+    report = compare_documents(doc({"a": 1.0, "b": 1.0}), doc({}),
+                               tolerance_pct=10.0, only={"a"})
+    assert report.exit_code == 1
+    assert [r.name for r in report.rows] == ["a"]
+
+
+def test_render_text_verdicts():
+    failing = compare_documents(doc({"a": 1.0}), doc({"a": 2.0}),
+                                tolerance_pct=10.0)
+    text = render_compare_text(failing)
+    assert "REGRESSION" in text
+    assert "bench compare: FAIL (1 regression(s), 0 error(s))" in text
+    passing = compare_documents(doc({"a": 1.0}), doc({"a": 1.0}),
+                                tolerance_pct=10.0)
+    assert "bench compare: ok" in render_compare_text(passing)
+
+
+def test_render_json_is_canonical_and_carries_exit_code():
+    report = compare_documents(doc({"a": 1.0}), doc({"a": 2.0}),
+                               tolerance_pct=10.0)
+    payload = json.loads(render_compare_json(report))
+    assert payload["exit_code"] == 1
+    assert payload["rows"][0]["status"] == "REGRESSION"
+    assert render_compare_json(report) == json.dumps(
+        payload, sort_keys=True, separators=(",", ":"))
+
+
+def test_load_bench_file_rejects_foreign_json(tmp_path):
+    path = tmp_path / "nope.json"
+    path.write_text(json.dumps({"schema": "something-else"}))
+    with pytest.raises(ValueError, match="not a repro-bench"):
+        load_bench_file(str(path))
+    good = tmp_path / "ok.json"
+    good.write_text(json.dumps(doc({"a": 1.0})))
+    assert load_bench_file(str(good))["schemaVersion"] \
+        == SCHEMA_VERSION

@@ -1,0 +1,147 @@
+"""Harness: stats math, determinism enforcement, BENCH document
+byte-stability outside the timing/host fields."""
+
+import json
+
+import pytest
+
+from repro.perf import (SCHEMA_VERSION, BenchStats, bench_document,
+                        render_suite_text, run_suite, stable_view,
+                        write_bench_file)
+from repro.perf.harness import run_bench
+from repro.perf.registry import BenchCase, BenchSpec, resolve
+
+
+class CountingCase(BenchCase):
+    """Deterministic toy bench: counters depend only on (seed, scale)."""
+
+    def __init__(self, seed, scale, flaky=False):
+        self.seed, self.scale = seed, scale
+        self.flaky = flaky
+        self.repeat = 0
+
+    def prepare(self):
+        self.repeat += 1
+        def run():
+            total = sum(range(2000))
+            events = self.seed * 100 + len(self.scale)
+            if self.flaky:
+                events += self.repeat  # drifts every repeat
+            return {"events": events, "total": total}
+        return run
+
+
+def spec(name="toy.count", flaky=False):
+    return BenchSpec(name=name, subsystem="sim", unit="events",
+                     description="toy",
+                     factory=lambda seed, scale:
+                     CountingCase(seed, scale, flaky=flaky))
+
+
+def test_stats_median_mean_cov():
+    stats = BenchStats.from_samples([4.0, 1.0, 2.0])
+    assert stats.min_s == 1.0
+    assert stats.median_s == 2.0
+    assert stats.mean_s == pytest.approx(7.0 / 3.0)
+    assert stats.cov == pytest.approx(
+        (7.0 / 3.0) ** -1 * (sum((s - 7.0 / 3.0) ** 2
+                                 for s in (1.0, 2.0, 4.0)) / 2) ** 0.5)
+    even = BenchStats.from_samples([1.0, 2.0, 3.0, 10.0])
+    assert even.median_s == 2.5
+    single = BenchStats.from_samples([5.0])
+    assert single.cov == 0.0 and single.repeats == 1
+
+
+def test_run_bench_counters_and_rate():
+    result = run_bench(spec(), seed=3, scale="quick", repeats=3,
+                       warmup=1)
+    assert result.counters == {"events": 305, "total": 1999000}
+    assert result.stats.repeats == 3
+    assert result.rate_per_s == pytest.approx(
+        305 / result.stats.median_s)
+
+
+def test_run_bench_rejects_nondeterministic_counters():
+    with pytest.raises(RuntimeError, match="not seed-deterministic"):
+        run_bench(spec(flaky=True), seed=0, scale="quick", repeats=2,
+                  warmup=0)
+
+
+def test_run_bench_validates_arguments():
+    with pytest.raises(ValueError, match="unknown scale"):
+        run_bench(spec(), seed=0, scale="huge", repeats=1, warmup=0)
+    with pytest.raises(ValueError, match="repeats must be"):
+        run_bench(spec(), seed=0, scale="quick", repeats=0, warmup=0)
+
+
+def suite(seed=0):
+    return run_suite([spec("b.two"), spec("a.one")], seed=seed,
+                     scale="quick", repeats=2, warmup=0)
+
+
+def test_run_suite_orders_by_name():
+    assert [r.name for r in suite().results] == ["a.one", "b.two"]
+
+
+def test_document_schema_and_stable_view():
+    document = bench_document(suite())
+    assert document["schema"] == "repro-bench"
+    assert document["schemaVersion"] == SCHEMA_VERSION
+    assert set(document["host"]) == {"python", "implementation",
+                                     "system", "machine", "cpu_count",
+                                     "date"}
+    bench = document["benchmarks"]["a.one"]
+    assert set(bench) == {"subsystem", "unit", "counters", "stats",
+                          "rate_per_s"}
+    view = stable_view(document)
+    assert "host" not in view
+    assert "stats" not in view["benchmarks"]["a.one"]
+    assert "rate_per_s" not in view["benchmarks"]["a.one"]
+    assert view["benchmarks"]["a.one"]["counters"] \
+        == bench["counters"]
+
+
+def test_same_seed_documents_agree_byte_for_byte():
+    views = [json.dumps(stable_view(bench_document(suite(seed=9))),
+                        sort_keys=True)
+             for _ in range(2)]
+    assert views[0] == views[1]
+    other_seed = json.dumps(
+        stable_view(bench_document(suite(seed=10))), sort_keys=True)
+    assert views[0] != other_seed
+
+
+def test_write_bench_file_is_canonical(tmp_path):
+    document = bench_document(suite())
+    path = tmp_path / "BENCH_test.json"
+    write_bench_file(str(path), document)
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert text == json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def test_render_suite_text_flags_noise():
+    result = suite()
+    text = render_suite_text(result, cov_limit=0.35)
+    assert "a.one" in text and "b.two" in text
+    assert "events/s" in text
+    forced = render_suite_text(result, cov_limit=-1.0)
+    assert "(noisy)" in forced
+
+
+def test_committed_baseline_matches_current_registry(tmp_path):
+    """The committed BENCH file's stable view must be reproducible by
+    the current code at the same seed/scale — the acceptance gate."""
+    import pathlib
+    repo = pathlib.Path(__file__).resolve().parent.parent.parent
+    baselines = sorted(repo.glob("BENCH_*.json"))
+    assert baselines, "no committed BENCH_<date>.json baseline"
+    committed = json.loads(baselines[-1].read_text())
+    run = committed["run"]
+    fresh = run_suite(resolve(None), seed=run["seed"],
+                      scale=run["scale"], repeats=1,
+                      warmup=0)
+    fresh_doc = bench_document(fresh)
+    fresh_doc["run"] = dict(run)  # repeats differ by design here
+    assert json.dumps(stable_view(fresh_doc), sort_keys=True) \
+        == json.dumps(stable_view(committed), sort_keys=True)

@@ -1,0 +1,57 @@
+"""benchmarks/conftest.py publish(): the canonical-JSON rider next
+to each rendered .txt table."""
+
+import importlib.util
+import json
+import pathlib
+
+BENCHMARKS = pathlib.Path(__file__).resolve().parent.parent.parent \
+    / "benchmarks"
+
+spec = importlib.util.spec_from_file_location(
+    "bench_conftest", BENCHMARKS / "conftest.py")
+bench_conftest = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_conftest)
+
+TABLE = """fig2 same-zone throughput (ops/s)
+users 1-slave 2-slave 4-slave
+50 6.1 6.4 6.2
+100 12.0 12.6 n/a
+"""
+
+
+def test_table_as_json_parses_title_header_rows():
+    rider = json.loads(
+        bench_conftest.table_as_json("fig2_same_zone", TABLE))
+    assert rider["name"] == "fig2_same_zone"
+    assert rider["title"] == "fig2 same-zone throughput (ops/s)"
+    assert rider["header"] == ["users", "1-slave", "2-slave",
+                               "4-slave"]
+    assert rider["rows"] == [[50, 6.1, 6.4, 6.2],
+                             [100, 12.0, 12.6, "n/a"]]
+
+
+def test_table_as_json_is_canonical():
+    text = bench_conftest.table_as_json("t", TABLE)
+    assert text == json.dumps(json.loads(text), sort_keys=True,
+                              separators=(",", ":"))
+
+
+def test_table_as_json_degrades_on_blurbs():
+    rider = json.loads(
+        bench_conftest.table_as_json("note", "just a sentence\n"))
+    assert rider["title"] == "just a sentence"
+    assert rider["header"] == []
+    assert rider["rows"] == []
+    empty = json.loads(bench_conftest.table_as_json("empty", ""))
+    assert empty["title"] == ""
+
+
+def test_publish_writes_txt_and_json_rider(tmp_path):
+    bench_conftest.publish(tmp_path, "fig2_same_zone", TABLE.strip())
+    assert (tmp_path / "fig2_same_zone.txt").read_text() \
+        == TABLE.strip() + "\n"
+    rider_text = (tmp_path / "fig2_same_zone.json").read_text()
+    assert rider_text.endswith("\n")
+    rider = json.loads(rider_text)
+    assert rider["rows"][0][0] == 50
