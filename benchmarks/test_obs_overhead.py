@@ -95,3 +95,109 @@ def test_disabled_observability_within_noise_of_baseline(results_dir):
         f"disabled observability costs {slowdown:.2f}x the "
         f"uninstrumented kernel (limit {MAX_SLOWDOWN}x) — the disabled "
         f"path is supposed to be a single guard per event")
+
+
+# --------------------------------------------------------- live plane
+# The live telemetry plane added two guards to hot paths:
+#
+# * every metrics instrument mutator checks ``self._subs`` before
+#   fanning out to pipeline subscribers, and
+# * every publish site checks ``sim.live.enabled`` before building a
+#   stream name / publishing.
+#
+# Both must stay a single attribute check when the plane is off.
+
+GAUGE_SETS = 200_000
+
+
+class _PlainGauge:
+    """``Gauge.set`` exactly as it was before the ``_subs`` fan-out —
+    the zero-subscriber baseline."""
+
+    __slots__ = ("name", "series", "_now")
+
+    def __init__(self, name, now_fn):
+        from repro.metrics import TimeSeries
+        self.name = name
+        self.series = TimeSeries()
+        self._now = now_fn
+
+    def set(self, value):
+        value = float(value)
+        self.series.record(self._now(), value)
+
+
+def _time_gauge(gauge_cls) -> float:
+    def round_():
+        gauge = gauge_cls("bench.gauge", lambda: 0.0)
+        set_ = gauge.set
+        for index in range(GAUGE_SETS):
+            set_(index)
+    timer = timeit.Timer(round_)
+    return min(timer.repeat(repeat=ROUNDS, number=1))
+
+
+def test_unsubscribed_gauge_within_noise_of_plain(results_dir):
+    from repro.obs.metrics import Gauge
+    baseline = _time_gauge(_PlainGauge)
+    unsubscribed = _time_gauge(Gauge)
+    slowdown = unsubscribed / baseline
+    text = "\n".join([
+        f"no-subscriber gauge overhead ({GAUGE_SETS} sets, "
+        f"best of {ROUNDS})",
+        f"plain gauge (no _subs):  {baseline * 1e3:9.2f} ms",
+        f"real gauge, no subs:     {unsubscribed * 1e3:9.2f} ms",
+        f"slowdown:                {slowdown:9.3f}x "
+        f"(guard: <= {MAX_SLOWDOWN}x)",
+    ])
+    publish(results_dir, "obs_gauge_subs", text)
+    assert slowdown <= MAX_SLOWDOWN, (
+        f"an unsubscribed gauge costs {slowdown:.2f}x a plain one "
+        f"(limit {MAX_SLOWDOWN}x) — the no-subscriber path is "
+        f"supposed to be a single falsy check per set")
+
+
+def test_disabled_live_publish_site_is_one_guard(results_dir):
+    """A publish site guarded by ``live.enabled`` on the NULL pipeline
+    must cost about the same as the bare loop body — the guard is one
+    attribute read + branch, and the branch is never taken."""
+    from repro.obs.live.streams import NULL_LIVE
+
+    count = 500_000
+
+    def bare():
+        total = 0.0
+        for index in range(count):
+            total += index * 0.5
+        return total
+
+    def guarded():
+        live = NULL_LIVE
+        total = 0.0
+        for index in range(count):
+            total += index * 0.5
+            if live.enabled:
+                live.publish("bench.stream", total)
+        return total
+
+    baseline = min(timeit.Timer(bare).repeat(repeat=ROUNDS, number=1))
+    disabled = min(timeit.Timer(guarded).repeat(repeat=ROUNDS,
+                                                number=1))
+    slowdown = disabled / baseline
+    # The loop body here is tiny (one multiply-add), so the guard is a
+    # much larger *fraction* of it than of any real publish site; 2x
+    # still catches a NULL pipeline that grew real work.
+    limit = 2.0
+    text = "\n".join([
+        f"disabled live-publish guard ({count} iterations, "
+        f"best of {ROUNDS})",
+        f"bare loop:        {baseline * 1e3:9.2f} ms",
+        f"guarded loop:     {disabled * 1e3:9.2f} ms",
+        f"slowdown:         {slowdown:9.3f}x (guard: <= {limit}x)",
+    ])
+    publish(results_dir, "obs_live_guard", text)
+    assert not NULL_LIVE.enabled
+    assert slowdown <= limit, (
+        f"the disabled live-publish guard costs {slowdown:.2f}x the "
+        f"bare loop (limit {limit}x) — NULL_LIVE is supposed to make "
+        f"the guard a single attribute check")

@@ -247,6 +247,15 @@ class DrillResult:
     monitor: ClusterMonitor
     proxy: ReadWriteSplitProxy
     observe: Optional[Observability] = None
+    #: The SLO plane's handles, when the drill carried an SLO spec.
+    live: Optional[object] = None
+    #: Canonical incident timeline (``incidents.json`` payload), with
+    #: the detection scorecard against the injected schedule.
+    incidents: Optional[dict] = None
+    #: The executed schedule and its sim-time origin (faults are
+    #: relative to ``workload_start``).
+    schedule: Optional[FaultSchedule] = None
+    workload_start: float = 0.0
 
 
 def _round(value: float, digits: int = 6) -> float:
@@ -259,7 +268,8 @@ def _build_report(config: DrillConfig, schedule: FaultSchedule,
                   monitor: ClusterMonitor, generator: LoadGenerator,
                   proxy: ReadWriteSplitProxy, pool: ConnectionPool,
                   workload_start: float, consistency: dict,
-                  observe: Optional[Observability]) -> dict:
+                  observe: Optional[Observability],
+                  slo_section: Optional[dict] = None) -> dict:
     crash_times = [when for when, fault, action, _note in injector.log
                    if fault.kind == "master-crash" and action == "begin"]
     failover: Optional[dict] = None
@@ -360,6 +370,10 @@ def _build_report(config: DrillConfig, schedule: FaultSchedule,
         }
     else:
         report["observability"] = None
+    if slo_section is not None:
+        # Key present only for SLO-carrying drills, so plain drills
+        # stay byte-identical to their pre-SLO artifacts.
+        report["slo"] = slo_section
     canonical = json.dumps(report, sort_keys=True,
                            separators=(",", ":"))
     report["digest"] = hashlib.sha256(
@@ -369,7 +383,7 @@ def _build_report(config: DrillConfig, schedule: FaultSchedule,
 
 def run_drill(config: DrillConfig = DrillConfig(),
               observe: Optional[Observability] = None,
-              sanitizer=None) -> DrillResult:
+              sanitizer=None, slo=None) -> DrillResult:
     """Execute one fault drill; deterministic per ``config.seed``.
 
     Mirrors ``run_experiment``'s timeline (baseline phase span, then a
@@ -380,12 +394,28 @@ def run_drill(config: DrillConfig = DrillConfig(),
     drill's shared surfaces for stale write-backs; like observation,
     instrumentation is read-only — the recovery report is
     byte-identical with or without it (when no race fires).
+
+    ``slo`` (an :class:`~repro.obs.live.SLOSpec` or
+    :class:`~repro.obs.live.LiveSession`) turns the live SLO plane
+    on: alerts are evaluated at sim-time while the faults land, the
+    detection scorecard grades fire-times against the injected
+    schedule, and the report gains an ``slo`` section.  A bare spec
+    implies a default :class:`Observability` (the stream tap needs a
+    metrics registry).
     """
+    live = None
+    if slo is not None:
+        from ..obs.live import LiveSession
+        live = LiveSession.of(slo)
+        if observe is None:
+            observe = Observability()
     sim = Simulator()
     if observe is not None:
         observe.attach(sim)
     if sanitizer is not None:
         sanitizer.attach(sim)
+    if live is not None:
+        live.attach(sim)
     streams = RandomStreams(config.seed)
     cloud = Cloud(sim, streams)
     manager = ReplicationManager(sim, cloud, ntp_period=1.0)
@@ -475,13 +505,32 @@ def run_drill(config: DrillConfig = DrillConfig(),
     if observe is not None:
         observe.finalize()
 
+    incidents = None
+    slo_section = None
+    if live is not None:
+        from ..obs.live import score_detection
+        detection = score_detection(live.incidents, schedule,
+                                    offset=workload_start)
+        incidents = live.document(sim.now, detection=detection)
+        slo_section = {
+            "spec": incidents["spec"],
+            "fired": incidents["fired"],
+            "resolved": incidents["resolved"],
+            "detected": detection["detected"],
+            "scored": detection["scored"],
+            "incidentsDigest": incidents["digest"],
+        }
+
     report = _build_report(config, schedule, injector, controller,
                            monitor, generator, proxy, pool,
-                           workload_start, consistency, observe)
+                           workload_start, consistency, observe,
+                           slo_section=slo_section)
     return DrillResult(report=report, manager=manager,
                        generator=generator, injector=injector,
                        controller=controller, monitor=monitor,
-                       proxy=proxy, observe=observe)
+                       proxy=proxy, observe=observe, live=live,
+                       incidents=incidents, schedule=schedule,
+                       workload_start=workload_start)
 
 
 def render_report_text(report: dict) -> str:

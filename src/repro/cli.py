@@ -191,6 +191,45 @@ def build_parser() -> argparse.ArgumentParser:
                             "--out, stdout stays byte-identical)")
     chaos.set_defaults(handler=_run_chaos)
 
+    slo = sub.add_parser(
+        "slo", help="run a fault drill with live SLO alerting; print "
+                    "the incident timeline and the detection "
+                    "scorecard (alert fire-times vs the injected "
+                    "schedule)")
+    slo.add_argument("--seed", type=int, default=0)
+    slo.add_argument("--users", type=int, default=20)
+    slo.add_argument("--slaves", type=int, default=2)
+    slo.add_argument("--spec", default=None, metavar="FILE",
+                     help="JSON SLO spec (default: the built-in "
+                          "default spec)")
+    slo.add_argument("--tolerance", type=float, default=30.0,
+                     help="detection window past a fault's own "
+                          "duration (sim seconds, default 30)")
+    slo.add_argument("--out", default=None, metavar="FILE",
+                     help="write the canonical incidents.json "
+                          "(byte-identical per seed)")
+    slo.add_argument("--format", choices=("text", "json"),
+                     default="text",
+                     help="json prints the canonical incidents "
+                          "document")
+    slo.set_defaults(handler=_run_slo)
+
+    watch = sub.add_parser(
+        "watch", help="run with a periodic text dashboard of live "
+                      "streams and alert states (byte-identical "
+                      "stdout per seed)")
+    watch.add_argument("--seed", type=int, default=0)
+    watch.add_argument("--users", type=int, default=20)
+    watch.add_argument("--slaves", type=int, default=2)
+    watch.add_argument("--interval", type=float, default=15.0,
+                       help="dashboard frame period (sim seconds)")
+    watch.add_argument("--spec", default=None, metavar="FILE",
+                       help="JSON SLO spec (default: built-in)")
+    watch.add_argument("--cell", action="store_true",
+                       help="watch a plain experiment cell (quick "
+                            "scale) instead of the fault drill")
+    watch.set_defaults(handler=_run_watch)
+
     bench = sub.add_parser(
         "bench", help="repro's perf trajectory: run the deterministic "
                       "benchmark suite (kernel / sql / db / "
@@ -599,6 +638,91 @@ def _run_chaos(args):
         text += "\n" + "\n".join(
             f"wrote {paths[name]}" for name in sorted(paths))
     return text, code
+
+
+def _load_spec_arg(path, command):
+    """(spec, None) or (None, error tuple) from a --spec argument."""
+    from .obs.live import default_slo_spec, load_slo_file
+    if path is None:
+        return default_slo_spec(), None
+    try:
+        return load_slo_file(path), None
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        return None, (f"repro {command}: error: bad SLO spec "
+                      f"{path}: {error}", 2)
+
+
+def _run_slo(args):
+    import json
+
+    from .chaos import DrillConfig, run_drill
+    from .obs import Observability
+    from .obs.live import (LiveSession, render_incidents_text,
+                           write_incidents)
+
+    if args.slaves < 2:
+        return ("repro slo: error: the default plan targets slave-1 "
+                "and slave-2; use --slaves >= 2", 2)
+    spec, error = _load_spec_arg(args.spec, "slo")
+    if error is not None:
+        return error
+    config = DrillConfig(seed=args.seed, n_users=args.users,
+                         n_slaves=args.slaves)
+    session = LiveSession(spec)
+    # run_drill starts its own ClusterMonitor; a monitor-less
+    # Observability supplies the registry the stream tap rides on.
+    result = run_drill(config, observe=Observability(
+        monitor_period=None), slo=session)
+    document = result.incidents
+    # The scorecard honours --tolerance; recompute when non-default.
+    if args.tolerance != 30.0:
+        from .obs.live import score_detection
+        detection = score_detection(
+            session.incidents, result.schedule,
+            offset=result.workload_start,
+            tolerance_s=args.tolerance)
+        document = session.document(document["final_time_s"],
+                                    detection=detection)
+    if args.out:
+        write_incidents(document, args.out)
+    if args.format == "json":
+        return json.dumps(document, sort_keys=True,
+                          separators=(",", ":"))
+    text = render_incidents_text(document)
+    if args.out:
+        text += f"\nwrote {args.out}"
+    return text
+
+
+def _run_watch(args):
+    from .obs import Observability
+    from .obs.live import LiveSession
+
+    spec, error = _load_spec_arg(args.spec, "watch")
+    if error is not None:
+        return error
+    if args.interval <= 0:
+        return "repro watch: error: --interval must be positive", 2
+    session = LiveSession(spec, watch_interval=args.interval)
+    if args.cell:
+        profile = _PROFILES["quick"]
+        config = PAPER_50_50(LocationConfig.SAME_ZONE, args.slaves,
+                             args.users, profile.phases,
+                             seed=args.seed,
+                             baseline_duration=profile
+                             .baseline_duration)
+        run_experiment(config, slo=session)
+    else:
+        from .chaos import DrillConfig, run_drill
+        if args.slaves < 2:
+            return ("repro watch: error: the default plan targets "
+                    "slave-1 and slave-2; use --slaves >= 2 or "
+                    "--cell", 2)
+        config = DrillConfig(seed=args.seed, n_users=args.users,
+                             n_slaves=args.slaves)
+        run_drill(config, observe=Observability(monitor_period=None),
+                  slo=session)
+    return session.render_watch()
 
 
 def _run_bench(args):

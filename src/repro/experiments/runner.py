@@ -55,6 +55,12 @@ class ExperimentResult:
     #: :func:`repro.obs.analyze.attribute_bottleneck` — None only for
     #: hand-built results (tests, fixtures).
     diagnosis: Optional[dict] = None
+    #: Canonical incident timeline (``incidents.json`` payload) when
+    #: the run carried an SLO spec; None otherwise.
+    incidents: Optional[dict] = None
+    #: Watchboard transcript (empty unless the run's
+    #: :class:`~repro.obs.live.LiveSession` asked for frames).
+    watch_text: str = ""
 
     @property
     def bottleneck(self) -> str:
@@ -87,7 +93,7 @@ class ExperimentResult:
 
 def run_experiment(config: ExperimentConfig,
                    observe: Optional[Observability] = None,
-                   sanitizer=None) -> ExperimentResult:
+                   sanitizer=None, slo=None) -> ExperimentResult:
     """Execute one cell and return its measurements.
 
     Pass an :class:`~repro.obs.Observability` session to record spans,
@@ -95,12 +101,28 @@ def run_experiment(config: ExperimentConfig,
     so results are identical with or without it.  A
     :class:`~repro.analysis.race.RaceSanitizer` likewise watches the
     cell's shared surfaces without perturbing it.
+
+    ``slo`` (an :class:`~repro.obs.live.SLOSpec` or
+    :class:`~repro.obs.live.LiveSession`) turns the live telemetry
+    plane on: streaming aggregates over the metrics bus and SLO alert
+    evaluation at sim-time, with the incident timeline on
+    ``result.incidents``.  An observed registry is required for the
+    stream tap, so a bare ``slo`` implies a default
+    :class:`Observability`.
     """
+    live = None
+    if slo is not None:
+        from ..obs.live import LiveSession
+        live = LiveSession.of(slo)
+        if observe is None:
+            observe = Observability()
     sim = Simulator()
     if observe is not None:
         observe.attach(sim)
     if sanitizer is not None:
         sanitizer.attach(sim)
+    if live is not None:
+        live.attach(sim)
     streams = RandomStreams(config.seed)
     cloud = Cloud(sim, streams)
     manager = ReplicationManager(sim, cloud, ntp_period=config.ntp_period)
@@ -236,6 +258,13 @@ def run_experiment(config: ExperimentConfig,
     if observe is not None:
         observe.finalize()
 
+    incidents = None
+    watch_text = ""
+    if live is not None:
+        incidents = live.document(sim.now,
+                                  bottleneck=diagnosis.as_dict())
+        watch_text = live.render_watch()
+
     return ExperimentResult(
         config=config,
         throughput=generator.steady_throughput(),
@@ -249,4 +278,6 @@ def run_experiment(config: ExperimentConfig,
         heartbeat_counts=heartbeat_counts,
         latency_percentiles_s=generator.steady_latency_percentiles(),
         diagnosis=diagnosis.as_dict(),
+        incidents=incidents,
+        watch_text=watch_text,
     )

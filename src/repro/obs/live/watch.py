@@ -1,0 +1,79 @@
+"""The watchboard: a periodic text dashboard of live streams.
+
+``repro watch`` renders what an operator's terminal would show — every
+public stream's current value plus the alerts firing right now —
+sampled on a fixed sim-time interval.  Frames are collected during the
+run and printed afterwards; under a fixed seed the concatenated output
+is byte-identical, so the dashboard itself is a testable artifact.
+
+This module must not import :mod:`repro.sim` at module level (the
+kernel imports ``NULL_LIVE`` from this package).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["Watchboard"]
+
+
+class Watchboard:
+    """Collects fixed-format dashboard frames as a kernel process."""
+
+    def __init__(self, pipeline, engine=None, interval: float = 10.0):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, "
+                             f"got {interval}")
+        self.pipeline = pipeline
+        self.engine = engine
+        self.interval = interval
+        self.frames: list = []
+        self._process = None
+
+    def attach(self, sim):
+        if self._process is not None:
+            raise RuntimeError("watchboard already started")
+        self._process = sim.process(self._run(sim), name="watchboard")
+        return self._process
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("stopped")
+        self._process = None
+
+    def frame_now(self, now: float) -> str:
+        """Render one frame at sim time ``now`` (and keep it)."""
+        lines = [f"── watch t={now:10.3f}s " + "─" * 24]
+        names = [name for name in self.pipeline.names()
+                 if not name.startswith("_slo.")]
+        if not names:
+            lines.append("  (no streams yet)")
+        for name in names:
+            value = self.pipeline.read(name, now)
+            rendered = "      -" if value is None \
+                else f"{value:12.3f}"
+            lines.append(f"  {name:<36s} {rendered}")
+        if self.engine is not None:
+            active = self.engine.active()
+            if active:
+                lines.append(f"  alerts firing: {len(active)}")
+                for rule_name, stream in active:
+                    lines.append(f"    ! {rule_name:<18s} {stream}")
+            else:
+                lines.append("  alerts firing: 0")
+        frame = "\n".join(lines)
+        self.frames.append(frame)
+        return frame
+
+    def render(self) -> str:
+        """Every collected frame, newline-joined."""
+        return "\n".join(self.frames)
+
+    def _run(self, sim):
+        from ...sim import Interrupt  # lazy: keep module sim-free
+        try:
+            while True:
+                yield sim.timeout(self.interval)
+                self.frame_now(sim.now)
+        except Interrupt:
+            return

@@ -14,6 +14,7 @@ publication sites are a guard check or a couple of no-op calls.
 
 from __future__ import annotations
 
+from sys import intern
 from typing import Callable, Optional, Sequence
 
 from ..metrics import TimeSeries
@@ -30,19 +31,25 @@ DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_subs")
 
     kind = "counter"
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        #: Live-pipeline taps; None (one falsy guard) when untapped.
+        self._subs = None
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r}: negative "
                              f"increment {amount!r}")
         self.value += amount
+        subs = self._subs
+        if subs:
+            for callback in subs:
+                callback(self.name, "counter", self.value)
 
     def snapshot(self) -> dict:
         return {"name": self.name, "kind": self.kind,
@@ -52,7 +59,7 @@ class Counter:
 class Gauge:
     """A sampled value with full sim-time history."""
 
-    __slots__ = ("name", "series", "_now")
+    __slots__ = ("name", "series", "_now", "_subs")
 
     kind = "gauge"
 
@@ -60,9 +67,15 @@ class Gauge:
         self.name = name
         self.series = TimeSeries()
         self._now = now_fn
+        self._subs = None
 
     def set(self, value: float) -> None:
-        self.series.record(self._now(), float(value))
+        value = float(value)
+        self.series.record(self._now(), value)
+        subs = self._subs
+        if subs:
+            for callback in subs:
+                callback(self.name, "gauge", value)
 
     @property
     def value(self) -> float:
@@ -79,7 +92,8 @@ class Gauge:
 class Histogram:
     """Bucketed observations with count and sum."""
 
-    __slots__ = ("name", "buckets", "counts", "count", "total")
+    __slots__ = ("name", "buckets", "counts", "count", "total",
+                 "_subs")
 
     kind = "histogram"
 
@@ -93,10 +107,15 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)  # +1: overflow
         self.count = 0
         self.total = 0.0
+        self._subs = None
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
+        subs = self._subs
+        if subs:
+            for callback in subs:
+                callback(self.name, "histogram", value)
         for index, bound in enumerate(self.buckets):
             if value <= bound:
                 self.counts[index] += 1
@@ -124,11 +143,17 @@ class MetricsRegistry:
         #: zero clock so a standalone registry still works.
         self._now = now_fn if now_fn is not None else (lambda: 0.0)
         self._instruments: dict = {}
+        #: ``(name, kind, value)`` callbacks fanned out to every
+        #: instrument (current and future) by :meth:`on_update`.
+        self._listeners: list = []
 
     def _get(self, name: str, kind: type, factory):
         instrument = self._instruments.get(name)
         if instrument is None:
+            name = intern(name)
             instrument = factory()
+            if self._listeners:
+                instrument._subs = list(self._listeners)
             self._instruments[name] = instrument
         elif not isinstance(instrument, kind):
             raise ValueError(
@@ -147,6 +172,19 @@ class MetricsRegistry:
                   ) -> Histogram:
         return self._get(name, Histogram,
                          lambda: Histogram(name, buckets))
+
+    def on_update(self, callback) -> None:
+        """Subscribe ``callback(name, kind, value)`` to every
+        instrument update: counter totals after ``inc``, gauge samples
+        on ``set``, raw histogram observations.  Applies to existing
+        instruments and any created later.  Untapped instruments keep
+        ``_subs`` None, so publish sites pay one falsy guard."""
+        self._listeners.append(callback)
+        for instrument in self._instruments.values():
+            if instrument._subs is None:
+                instrument._subs = [callback]
+            else:
+                instrument._subs.append(callback)
 
     def __len__(self) -> int:
         return len(self._instruments)

@@ -11,6 +11,9 @@ targets, each seed-deterministic in its workload shape:
   execution over the same mix against a loaded Cloudstone database;
 * ``repl.binlog`` — binlog encode (append), ship (wire-size walk) and
   apply (re-parse + re-execute on a slave engine);
+* ``obs.stream`` — the live telemetry pipeline: seeded samples fanned
+  through rate / EWMA / sliding-quantile / sliding-max operator
+  chains;
 * ``e2e.cell`` — one quick end-to-end experiment cell
   (:func:`~repro.experiments.runner.run_experiment`).
 
@@ -216,6 +219,64 @@ def _repl_binlog(seed: int, scale: str) -> BenchCase:
                         "rows_applied": applied_rows}
             return run
     return BinlogPipeline()
+
+
+# ---------------------------------------------------------------- obs
+@register("obs.stream", subsystem="obs", unit="updates",
+          description="live pipeline fan-out: seeded samples through "
+                      "rate/EWMA/sliding-quantile/sliding-max "
+                      "operator chains")
+def _obs_stream(seed: int, scale: str) -> BenchCase:
+    from ..obs.live.streams import (Ewma, LivePipeline, SlidingMax,
+                                    SlidingQuantile, WindowedRate)
+
+    class Stream(BenchCase):
+        n_streams = 4
+        samples = 500 * SCALES[scale]
+
+        def __init__(self):
+            # The sample tape is drawn once; the timed phase replays
+            # it through a fresh pipeline each repeat.
+            names = [f"bench.s{index}"
+                     for index in range(self.n_streams)]
+            rng = RandomStreams(seed).stream("perf.obs")
+            tape: list[tuple[str, float, float]] = []
+            t = 0.0
+            for index in range(self.samples):
+                t += float(rng.random()) * 0.1
+                tape.append((names[index % self.n_streams], t,
+                             float(rng.random()) * 4.0))
+            self.names = names
+            self.tape = tape
+            self.final_t = t
+
+        def prepare(self):
+            pipeline = LivePipeline()
+            for name in self.names:
+                pipeline.derive(name + ".rate",
+                                WindowedRate(10.0), name)
+                pipeline.derive(name + ".ewma", Ewma(5.0), name)
+                pipeline.derive(name + ".p95",
+                                SlidingQuantile(0.95, 10.0), name)
+                pipeline.derive(name + ".max", SlidingMax(10.0), name)
+            tape = self.tape
+            final_t = self.final_t
+
+            def run():
+                import math
+                publish = pipeline.publish
+                for name, t, value in tape:
+                    publish(name, value, t)
+                checksum = 0
+                for name in pipeline.names():
+                    value = pipeline.read(name, final_t)
+                    if value is not None and math.isfinite(value):
+                        checksum += int(round(value * 1e3))
+                return {"updates": pipeline.published,
+                        "streams": len(pipeline),
+                        "checksum_milli": checksum}
+            return run
+    return Stream()
 
 
 # ---------------------------------------------------------------- e2e

@@ -108,6 +108,11 @@ class HeartbeatPlugin:
                     # cluster monitor's oracle instead.
                     del self.inserted_at[heartbeat_id]
                     return
+                live = self.sim.live
+                if live.enabled:
+                    # The SLO plane's dead-man switch: the absence of
+                    # these beats is what a master crash looks like.
+                    live.publish("heartbeat.beat", float(heartbeat_id))
                 self._note_position(heartbeat_id, mark, inserted)
         except Interrupt:
             return

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from sys import intern
 from typing import Optional
 
 from ..sim import Simulator
@@ -88,6 +89,14 @@ class ClusterMonitor:
         self.samples: deque[ClusterSample] = deque(maxlen=history)
         self._last_busy: dict[str, tuple[float, float]] = {}
         self._process = None
+        #: Cached gauge handles: publishing every ``period`` must not
+        #: rebuild per-slave name strings and re-hash registry lookups
+        #: each sample.  Keyed by registry identity — observability can
+        #: be (re)attached between samples.
+        self._gauge_registry = None
+        self._master_gauges = None
+        self._slave_gauges: dict[str, tuple] = {}
+        self._gap_names: dict[str, str] = {}
 
     def start(self) -> None:
         if self._process is not None:
@@ -135,19 +144,48 @@ class ClusterMonitor:
         self.samples.append(sample)
         metrics = self.sim.metrics
         if metrics.enabled:
-            metrics.gauge("master.cpu_util").set(
-                sample.master_cpu_utilization)
-            metrics.gauge("master.cpu_queue").set(sample.master_cpu_queue)
-            metrics.gauge("master.binlog_head").set(sample.binlog_head)
+            if self._gauge_registry is not metrics:
+                self._gauge_registry = metrics
+                self._master_gauges = None
+                self._slave_gauges.clear()
+            master_gauges = self._master_gauges
+            if master_gauges is None:
+                master_gauges = self._master_gauges = (
+                    metrics.gauge("master.cpu_util"),
+                    metrics.gauge("master.cpu_queue"),
+                    metrics.gauge("master.binlog_head"))
+            cpu_util, cpu_queue, binlog_head = master_gauges
+            cpu_util.set(sample.master_cpu_utilization)
+            cpu_queue.set(sample.master_cpu_queue)
+            binlog_head.set(sample.binlog_head)
             for entry in sample.slaves:
-                prefix = f"slave.{entry.name}"
-                metrics.gauge(f"{prefix}.relay_backlog").set(
-                    entry.relay_backlog)
-                metrics.gauge(f"{prefix}.cpu_queue").set(entry.cpu_queue)
-                metrics.gauge(f"{prefix}.cpu_util").set(
-                    entry.cpu_utilization)
-                metrics.gauge(f"{prefix}.seconds_behind").set(
-                    entry.seconds_behind)
+                handles = self._slave_gauges.get(entry.name)
+                if handles is None:
+                    prefix = intern(f"slave.{entry.name}")
+                    handles = self._slave_gauges[entry.name] = (
+                        metrics.gauge(prefix + ".relay_backlog"),
+                        metrics.gauge(prefix + ".cpu_queue"),
+                        metrics.gauge(prefix + ".cpu_util"),
+                        metrics.gauge(prefix + ".seconds_behind"))
+                backlog, queue, util, behind = handles
+                backlog.set(entry.relay_backlog)
+                queue.set(entry.cpu_queue)
+                util.set(entry.cpu_utilization)
+                behind.set(entry.seconds_behind)
+        live = self.sim.live
+        if live.enabled:
+            # Live-plane-only signal: events committed on the master a
+            # slave has not *applied* yet.  The seconds-behind oracle
+            # reads the relay log, so a partition or a stalled dump
+            # connection (nothing arriving) looks like zero lag to it
+            # — the gap to the binlog head is what actually grows.
+            for entry in sample.slaves:
+                gap_name = self._gap_names.get(entry.name)
+                if gap_name is None:
+                    gap_name = self._gap_names[entry.name] = intern(
+                        f"slave.{entry.name}.repl_gap")
+                live.publish(gap_name, float(
+                    sample.binlog_head - entry.applied_position))
         return sample
 
     def _run(self):

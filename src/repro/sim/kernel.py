@@ -22,6 +22,7 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..obs.live.streams import NULL_LIVE
 from ..obs.metrics import NULL_METRICS
 from ..obs.tracer import NULL_TRACER
 
@@ -351,6 +352,7 @@ class Simulator:
         self.tracer = NULL_TRACER
         self.metrics = NULL_METRICS
         self.profiler = None
+        self.live = NULL_LIVE
         #: Optional race sanitizer (see repro.analysis.race.sanitizer);
         #: when set, every process resumption bumps its epoch so the
         #: sanitizer can tell reads-before-yield from reads-after.

@@ -95,6 +95,11 @@ class LoadGenerator:
         self.errors = 0
         self.retries = 0
         self.pool_timeouts = 0
+        #: Cached instrument handles for the completion hot path,
+        #: keyed by registry identity (see monitor.sample_now).
+        self._metrics_registry = None
+        self._latency_histogram = None
+        self._op_counters: dict = {}
         self._started = False
         #: The spawned user processes, so a drill (or test) can
         #: interrupt individual users mid-run.
@@ -201,8 +206,17 @@ class LoadGenerator:
         self.op_counts[operation.name] += 1
         metrics = self.sim.metrics
         if metrics.enabled:
-            metrics.histogram("driver.latency_s").observe(latency)
-            metrics.counter(f"driver.ops.{operation.name}").inc()
+            if self._metrics_registry is not metrics:
+                self._metrics_registry = metrics
+                self._latency_histogram = metrics.histogram(
+                    "driver.latency_s")
+                self._op_counters.clear()
+            self._latency_histogram.observe(latency)
+            op_counter = self._op_counters.get(operation.name)
+            if op_counter is None:
+                op_counter = self._op_counters[operation.name] = \
+                    metrics.counter(f"driver.ops.{operation.name}")
+            op_counter.inc()
 
     # -- measurements ------------------------------------------------------------
     @property

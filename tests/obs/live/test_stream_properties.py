@@ -1,0 +1,238 @@
+"""Property-based tests on the streaming operators.
+
+Every incremental operator is checked against a brute-force recompute
+over the full sample tape: whatever clever state the operator keeps
+(monotonic deques, histogram rings, running EWMAs), reading it at any
+sim time must agree with "keep everything, filter, aggregate".
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.live.streams import (Ewma, LivePipeline, SlidingMax,
+                                    SlidingMin, SlidingQuantile,
+                                    WindowedMean, WindowedRate)
+
+#: (dt, value) pairs; times accumulate so tapes are monotonic, as sim
+#: time is.
+_TAPE = st.lists(
+    st.tuples(
+        st.floats(min_value=1e-3, max_value=5.0, allow_nan=False,
+                  allow_infinity=False),
+        st.floats(min_value=-100.0, max_value=100.0, allow_nan=False,
+                  allow_infinity=False)),
+    min_size=1, max_size=60)
+_WINDOW = st.floats(min_value=0.5, max_value=20.0, allow_nan=False)
+#: Extra sim time between the last sample and the read.
+_ADVANCE = st.floats(min_value=0.0, max_value=30.0, allow_nan=False)
+
+
+def _accumulate(tape):
+    """[(dt, value)] -> [(t, value)] with monotonic t."""
+    t = 0.0
+    out = []
+    for dt, value in tape:
+        t += dt
+        out.append((t, value))
+    return out
+
+
+def _in_window(points, now, window):
+    """Window membership is strict: ``t > now - window``."""
+    return [(t, v) for t, v in points if t > now - window]
+
+
+@given(tape=_TAPE, window=_WINDOW, advance=_ADVANCE)
+@settings(max_examples=200, deadline=None)
+def test_windowed_rate_count_matches_bruteforce(tape, window, advance):
+    op = WindowedRate(window)
+    points = _accumulate(tape)
+    for t, value in points:
+        op.update(t, value)
+    now = points[-1][0] + advance
+    expected = len(_in_window(points, now, window)) / window
+    assert math.isclose(op.read(now), expected, rel_tol=1e-9,
+                        abs_tol=1e-12)
+
+
+@given(tape=_TAPE, window=_WINDOW, advance=_ADVANCE)
+@settings(max_examples=200, deadline=None)
+def test_windowed_rate_delta_matches_bruteforce(tape, window, advance):
+    op = WindowedRate(window, mode="delta")
+    points = _accumulate(tape)
+    # Delta mode differences a cumulative counter: replay the same
+    # differencing brute-force (first sample carries weight 0).
+    weights = []
+    previous = None
+    for t, value in points:
+        weights.append((t, value - previous
+                        if previous is not None else 0.0))
+        previous = value
+        op.update(t, value)
+    now = points[-1][0] + advance
+    expected = math.fsum(
+        w for t, w in weights if t > now - window) / window
+    assert math.isclose(op.read(now), expected, rel_tol=1e-9,
+                        abs_tol=1e-12)
+
+
+@given(tape=_TAPE, window=_WINDOW, advance=_ADVANCE)
+@settings(max_examples=200, deadline=None)
+def test_windowed_mean_matches_bruteforce(tape, window, advance):
+    op = WindowedMean(window)
+    points = _accumulate(tape)
+    for t, value in points:
+        op.update(t, value)
+    now = points[-1][0] + advance
+    live = _in_window(points, now, window)
+    got = op.read(now)
+    if not live:
+        assert got is None
+    else:
+        expected = math.fsum(v for _t, v in live) / len(live)
+        assert math.isclose(got, expected, rel_tol=1e-9,
+                            abs_tol=1e-12)
+
+
+@given(tape=_TAPE, window=_WINDOW, advance=_ADVANCE)
+@settings(max_examples=200, deadline=None)
+def test_sliding_extremes_match_bruteforce(tape, window, advance):
+    op_max, op_min = SlidingMax(window), SlidingMin(window)
+    points = _accumulate(tape)
+    for t, value in points:
+        op_max.update(t, value)
+        op_min.update(t, value)
+    now = points[-1][0] + advance
+    live = _in_window(points, now, window)
+    if not live:
+        assert op_max.read(now) is None
+        assert op_min.read(now) is None
+    else:
+        assert op_max.read(now) == max(v for _t, v in live)
+        assert op_min.read(now) == min(v for _t, v in live)
+
+
+@given(tape=_TAPE,
+       tau=st.floats(min_value=0.1, max_value=30.0, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_ewma_matches_bruteforce_recursion(tape, tau):
+    op = Ewma(tau)
+    points = _accumulate(tape)
+    expected = None
+    last_t = None
+    for t, value in points:
+        op.update(t, value)
+        if expected is None:
+            expected = value
+        else:
+            alpha = 1.0 - math.exp(-max(t - last_t, 0.0) / tau)
+            expected += alpha * (value - expected)
+        last_t = t
+    assert math.isclose(op.read(points[-1][0]), expected,
+                        rel_tol=1e-9, abs_tol=1e-12)
+
+
+@given(tape=st.lists(
+           st.tuples(
+               st.floats(min_value=1e-3, max_value=5.0,
+                         allow_nan=False),
+               st.floats(min_value=0.0, max_value=90.0,
+                         allow_nan=False)),
+           min_size=1, max_size=60),
+       window=_WINDOW, advance=_ADVANCE,
+       q=st.floats(min_value=0.05, max_value=0.95, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_sliding_quantile_matches_flat_histogram(tape, window,
+                                                 advance, q):
+    """The ring of per-sub-window histograms must read exactly like a
+    flat recompute: bucketize every retained sample, walk cumulative
+    counts to the requested rank."""
+    slots = 16
+    op = SlidingQuantile(q, window, slots=slots)
+    points = _accumulate(tape)
+    for t, value in points:
+        op.update(t, value)
+    now = points[-1][0] + advance
+    granularity = window / slots
+    oldest_live = int(now // granularity) - slots
+    live = [v for t, v in points
+            if int(t // granularity) > oldest_live]
+    got = op.read(now)
+    if not live:
+        assert got is None
+        return
+    edges = op.edges
+    merged = [0] * (len(edges) + 1)
+    for value in live:
+        merged[bisect.bisect_left(edges, value)] += 1
+    rank = q * len(live)
+    running = 0
+    expected = math.inf
+    for bucket, count in enumerate(merged):
+        running += count
+        if running >= rank:
+            expected = edges[bucket] if bucket < len(edges) \
+                else math.inf
+            break
+    assert got == expected
+
+
+@given(tape=st.lists(
+           st.tuples(
+               st.floats(min_value=1e-3, max_value=5.0,
+                         allow_nan=False),
+               st.floats(min_value=0.0, max_value=50.0,
+                         allow_nan=False)),
+           min_size=3, max_size=60),
+       window=_WINDOW,
+       q=st.floats(min_value=0.05, max_value=0.95, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_sliding_quantile_is_conservative(tape, window, q):
+    """The estimate never under-reports: it is an upper bound on the
+    true empirical quantile of whatever samples are retained."""
+    op = SlidingQuantile(q, window)
+    points = _accumulate(tape)
+    for t, value in points:
+        op.update(t, value)
+    now = points[-1][0]
+    got = op.read(now)
+    granularity = window / op.slots
+    oldest_live = int(now // granularity) - op.slots
+    live = sorted(v for t, v in points
+                  if int(t // granularity) > oldest_live)
+    assert live, "the newest sample's sub-window is always live"
+    true_quantile = live[max(0, math.ceil(q * len(live)) - 1)]
+    assert got >= true_quantile
+
+
+def test_window_membership_is_strict():
+    """A sample exactly one window old has fallen out (t > now − w)."""
+    op = WindowedMean(10.0)
+    op.update(0.0, 100.0)
+    op.update(5.0, 50.0)
+    assert op.read(9.999) == 75.0
+    assert op.read(10.0) == 50.0  # the t=0 sample is gone
+    assert op.read(14.999) == 50.0
+    assert op.read(15.0) is None  # ...and now the t=5 one
+
+
+def test_pipeline_fanout_updates_all_derived_nodes():
+    pipeline = LivePipeline()
+    pipeline.derive("s.mean", WindowedMean(10.0), "s")
+    pipeline.derive("s.max", SlidingMax(10.0), "s")
+    pipeline.derive("s.smooth", Ewma(5.0), "s")
+    for t, value in ((1.0, 2.0), (2.0, 6.0), (3.0, 4.0)):
+        pipeline.publish("s", value, t)
+    assert pipeline.published == 3
+    assert pipeline.read("s", 3.0) == 4.0
+    assert pipeline.read("s.mean", 3.0) == 4.0
+    assert pipeline.read("s.max", 3.0) == 6.0
+    assert pipeline.names() == ["s", "s.max", "s.mean", "s.smooth"]
+    assert pipeline.match("s.m*") == ["s.max", "s.mean"]
+    assert pipeline.match("s") == ["s"]
+    assert pipeline.match("missing") == []
