@@ -18,7 +18,7 @@ from ..sim import Event, Simulator
 __all__ = ["BinlogEvent", "Binlog"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BinlogEvent:
     """One replicated statement (or row-image batch)."""
 

@@ -26,6 +26,7 @@ from ..sql.ast import (BeginStatement, BinaryOp, BetweenOp, ColumnRef,
                        Statement, UpdateStatement, UseStatement)
 from ..sql.expressions import EvalContext, evaluate
 from ..sql.parser import parse
+from ..sql.plancache import PlanCache
 from ..sql.render import render_expression, render_statement
 from .errors import (DatabaseError, SchemaError, TableNotFoundError,
                      TransactionError)
@@ -37,7 +38,7 @@ __all__ = ["ResultSet", "ExecutionProfile", "ExecutionResult",
            "StorageEngine"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ResultSet:
     """Rows returned to the client."""
 
@@ -56,7 +57,7 @@ class ResultSet:
         return [dict(zip(self.columns, row)) for row in self.rows]
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionProfile:
     """What the statement actually did — input to the CPU cost model."""
 
@@ -69,7 +70,7 @@ class ExecutionProfile:
     joined_tables: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionResult:
     """Result + profile + the statements destined for the binlog."""
 
@@ -86,9 +87,13 @@ class StorageEngine:
                  functions: Optional[Mapping[str, Callable]] = None,
                  default_database: str = "main",
                  commit_listener: Optional[
-                     Callable[[list[tuple[str, str]]], None]] = None):
+                     Callable[[list[tuple[str, str]]], None]] = None,
+                 plan_cache: Optional[PlanCache] = None):
         self.functions = dict(functions or {})
         self.default_database = default_database
+        #: Optional prepared-plan cache for SQL-text execution; safe to
+        #: share across engines (plans are frozen ASTs).
+        self.plan_cache = plan_cache
         self.databases: set[str] = {default_database}
         self.tables: dict[str, Table] = {}
         self.commit_listener = commit_listener
@@ -131,7 +136,11 @@ class StorageEngine:
             finally:
                 self.default_database = saved
         if isinstance(statement, str):
-            statement = parse(statement)
+            cache = self.plan_cache
+            if cache is None:
+                statement = parse(statement)
+            else:
+                statement, params = cache.prepare(statement, params)
         self.statements_executed += 1
         params = params or ()
         if isinstance(statement, SelectStatement):

@@ -22,7 +22,7 @@ from .errors import DatabaseError
 __all__ = ["RowOp", "apply_row_ops", "row_ops_size_bytes"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RowOp:
     """One replicated row mutation.
 

@@ -8,7 +8,7 @@ from typing import Any, Optional
 __all__ = ["UndoRecord", "Transaction"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UndoRecord:
     """Enough information to reverse one row mutation.
 
@@ -22,7 +22,7 @@ class UndoRecord:
     old_row: Optional[dict] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """An open transaction on one engine session."""
 

@@ -70,6 +70,10 @@ def load_bench_file(path: str) -> dict:
     if not isinstance(document, dict) \
             or document.get("schema") != "repro-bench":
         raise ValueError(f"{path}: not a repro-bench document")
+    if not document.get("benchmarks"):
+        raise ValueError(f"{path}: baseline has no benchmark entries "
+                         f"(comparing against nothing always passes); "
+                         f"regenerate it with 'repro bench --out'")
     return document
 
 

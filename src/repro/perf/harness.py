@@ -195,7 +195,15 @@ def stable_view(document: dict) -> dict:
 
 
 def write_bench_file(path: str, document: dict) -> None:
-    """Canonical JSON: sorted keys, 2-space indent, trailing newline."""
+    """Canonical JSON: sorted keys, 2-space indent, trailing newline.
+
+    Refuses a document with no benchmark entries: an empty baseline
+    would make every later ``--compare`` pass vacuously.
+    """
+    if not document.get("benchmarks"):
+        raise ValueError(
+            f"refusing to write {path}: document has no benchmark "
+            f"entries (an empty baseline compares as a pass)")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, sort_keys=True, indent=2)
         handle.write("\n")

@@ -83,9 +83,12 @@ def resolve(names: Optional[list[str]]) -> list[BenchSpec]:
         return all_benchmarks()
     specs: dict[str, BenchSpec] = {}
     for pattern in names:
+        # Family prefixes work with or without the trailing dot the
+        # docs show ("sql" and "sql." both select the sql.* benches).
+        family = pattern.rstrip(".") + "."
         matched = [spec for spec in all_benchmarks()
                    if spec.name == pattern
-                   or spec.name.startswith(pattern + ".")]
+                   or spec.name.startswith(family)]
         if not matched:
             known = ", ".join(sorted(_REGISTRY))
             raise KeyError(f"unknown benchmark {pattern!r} "

@@ -28,6 +28,7 @@ from ..cloud.provisioner import Cloud
 from ..cloud.regions import Placement
 from ..db.errors import DatabaseError
 from ..sim import Simulator, Store
+from ..sql.plancache import PlanCache
 from .cost import CostModel, DEFAULT_COST_MODEL
 from .heartbeat import HEARTBEAT_DATABASE
 from .master import MasterServer
@@ -68,7 +69,8 @@ class ReplicationManager:
                  default_database: str = "cloudstone",
                  ntp_period: Optional[float] = 1.0,
                  semi_sync: bool = False,
-                 binlog_format: str = "statement"):
+                 binlog_format: str = "statement",
+                 plan_cache: Optional[PlanCache] = None):
         self.sim = sim
         self.cloud = cloud
         self.cost_model = cost_model
@@ -76,6 +78,13 @@ class ReplicationManager:
         self.ntp_period = ntp_period
         self.semi_sync = semi_sync
         self.binlog_format = binlog_format
+        #: One prepared-plan cache for the whole cluster: the ASTs it
+        #: holds are frozen, so master, slave apply threads and the
+        #: proxy can all share the same entries.
+        self.plan_cache = plan_cache if plan_cache is not None \
+            else PlanCache()
+        if sim.metrics.enabled:
+            self.plan_cache.attach_metrics(sim.metrics)
         self.master: Optional[MasterServer] = None
         self.slaves: list[SlaveServer] = []
 
@@ -92,7 +101,8 @@ class ReplicationManager:
             self.sim, instance, cost_model=self.cost_model,
             default_database=self.default_database,
             semi_sync=self.semi_sync,
-            binlog_format=self.binlog_format)
+            binlog_format=self.binlog_format,
+            plan_cache=self.plan_cache)
         self.master.admin(f"CREATE DATABASE IF NOT EXISTS "
                           f"{self.default_database}")
         return self.master
@@ -115,7 +125,8 @@ class ReplicationManager:
         if self.ntp_period is not None:
             self.cloud.start_ntp(instance, period=self.ntp_period)
         slave = SlaveServer(self.sim, instance, cost_model=self.cost_model,
-                            default_database=self.default_database)
+                            default_database=self.default_database,
+                            plan_cache=self.plan_cache)
         slave.engine.restore(self.master.engine.snapshot())
         slave.start_position = self.master.binlog.head_position
         slave.applied_position = slave.start_position
@@ -173,7 +184,8 @@ class ReplicationManager:
             raise RuntimeError("cluster has no master")
         return ReadWriteSplitProxy(self.cloud.network, self.master,
                                    self.slaves, client_placement,
-                                   policy=policy, rng=rng)
+                                   policy=policy, rng=rng,
+                                   plan_cache=self.plan_cache)
 
     # -- convergence -------------------------------------------------------------
     def all_caught_up(self) -> bool:

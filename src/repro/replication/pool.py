@@ -50,6 +50,21 @@ class ConnectionPool:
         self.total_borrows = 0
         self.total_wait_time = 0.0
         self.timeouts = 0
+        # Interned instrument handles: resolving "pool.borrows" etc.
+        # through the registry on every borrow costs a dict lookup per
+        # name; the handles are stable, so look them up once per
+        # registry and reuse.
+        self._metrics_registry = None
+        self._borrow_counter = None
+        self._timeout_counter = None
+        self._wait_histogram = None
+
+    def _instruments(self, metrics):
+        if self._metrics_registry is not metrics:
+            self._metrics_registry = metrics
+            self._borrow_counter = metrics.counter("pool.borrows")
+            self._timeout_counter = metrics.counter("pool.timeouts")
+            self._wait_histogram = metrics.histogram("pool.wait_s")
 
     def acquire(self, timeout: float = None):
         """Process generator: borrow a connection (may wait).
@@ -70,9 +85,10 @@ class ConnectionPool:
                     yield request | self.sim.timeout(timeout)
                     if not request.granted:
                         self.timeouts += 1
-                        if self.sim.metrics.enabled:
-                            self.sim.metrics.counter(
-                                "pool.timeouts").inc()
+                        metrics = self.sim.metrics
+                        if metrics.enabled:
+                            self._instruments(metrics)
+                            self._timeout_counter.inc()
                         raise PoolTimeout(
                             f"no connection within {timeout}s "
                             f"({self.waiting} waiting)")
@@ -90,8 +106,9 @@ class ConnectionPool:
                                       borrowed_at=self.sim.now)
         metrics = self.sim.metrics
         if metrics.enabled:
-            metrics.counter("pool.borrows").inc()
-            metrics.histogram("pool.wait_s").observe(waited)
+            self._instruments(metrics)
+            self._borrow_counter.inc()
+            self._wait_histogram.observe(waited)
         return connection
 
     def release(self, connection: PooledConnection) -> None:

@@ -28,6 +28,7 @@ from ..cloud.regions import Placement
 from ..db.engine import ExecutionResult
 from ..sql.ast import Statement
 from ..sql.parser import parse
+from ..sql.plancache import PlanCache
 from .master import MasterServer
 from .server import DatabaseServer
 from .slave import SlaveServer
@@ -45,7 +46,8 @@ class ReadWriteSplitProxy:
                  client_placement: Placement,
                  policy: str = "round_robin",
                  rng: Optional[np.random.Generator] = None,
-                 read_your_writes_window: float = 0.0):
+                 read_your_writes_window: float = 0.0,
+                 plan_cache: Optional[PlanCache] = None):
         if policy not in BALANCING_POLICIES:
             raise ValueError(f"unknown balancing policy {policy!r}; "
                              f"choose from {BALANCING_POLICIES}")
@@ -64,6 +66,10 @@ class ReadWriteSplitProxy:
         #: asynchronous-replication staleness the paper characterizes.
         #: 0.0 (the paper's configuration) disables it.
         self.read_your_writes_window = read_your_writes_window
+        #: Shared prepared-plan cache; the proxy prepares client SQL
+        #: once and hands the frozen AST (plus extracted parameters)
+        #: down the whole server path.
+        self.plan_cache = plan_cache
         self._last_write_at: dict = {}
         self._cursor = 0
         self._outstanding: dict[str, int] = {}
@@ -180,7 +186,11 @@ class ReadWriteSplitProxy:
         operations that must stay on one replica).
         """
         if isinstance(statement, str):
-            statement = parse(statement)
+            cache = self.plan_cache
+            if cache is None:
+                statement = parse(statement)
+            else:
+                statement, params = cache.prepare(statement, params)
         target = server if server is not None else self.route(statement)
         self._outstanding[target.name] = \
             self._outstanding.get(target.name, 0) + 1

@@ -22,6 +22,7 @@ from ..db.functions import standard_functions
 from ..sim import Simulator
 from ..sql.ast import Statement
 from ..sql.parser import parse
+from ..sql.plancache import PlanCache
 from .cost import CostModel, DEFAULT_COST_MODEL
 
 __all__ = ["DatabaseServer"]
@@ -37,7 +38,8 @@ class DatabaseServer:
                  default_database: str = "cloudstone",
                  server_id: Optional[int] = None,
                  read_only: bool = False,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 plan_cache: Optional[PlanCache] = None):
         self.sim = sim
         self.instance = instance
         self.cost_model = cost_model
@@ -47,7 +49,8 @@ class DatabaseServer:
         rand = (lambda: float(rng.random())) if rng is not None else None
         self.engine = StorageEngine(
             functions=standard_functions(instance.clock.now, rand=rand),
-            default_database=default_database)
+            default_database=default_database,
+            plan_cache=plan_cache)
         self.queries_served = 0
         self.writes_served = 0
         #: False once the server has failed or been retired; client
@@ -79,7 +82,11 @@ class DatabaseServer:
         Usage: ``result = yield from server.perform(sql)``.
         """
         if isinstance(statement, str):
-            statement = parse(statement)
+            cache = self.engine.plan_cache
+            if cache is None:
+                statement = parse(statement)
+            else:
+                statement, params = cache.prepare(statement, params)
         if not self.online:
             raise DatabaseError(f"server {self.name!r} is offline")
         if self.read_only and statement.is_write:

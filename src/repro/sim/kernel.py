@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..obs.live.streams import NULL_LIVE
@@ -343,6 +344,12 @@ class Simulator:
     def __init__(self):
         self._now = 0.0
         self._heap: list[tuple[float, int, Event]] = []
+        #: Events due *now* (zero-delay schedules and just-triggered
+        #: posts) bypass the heap: they would land at the top anyway,
+        #: so a FIFO deque serves them in O(1) instead of O(log n).
+        #: Invariant: every entry is due at exactly ``_now`` — the
+        #: clock cannot advance while the deque is non-empty.
+        self._immediate: deque[tuple[int, Event]] = deque()
         self._counter = itertools.count()
         self._active_process: Optional[Process] = None
         #: Observability hooks (see :mod:`repro.obs`).  The defaults
@@ -398,19 +405,39 @@ class Simulator:
         if self.profiler is not None:
             event._owner = owner = self._owner_name()
             self.profiler.on_schedule(owner)
-        heapq.heappush(self._heap, (self._now + delay, next(self._counter), event))
+        if delay == 0.0:
+            self._immediate.append((next(self._counter), event))
+        else:
+            heapq.heappush(self._heap,
+                           (self._now + delay, next(self._counter), event))
 
     def _post(self, event: Event) -> None:
         """Schedule a just-triggered event's callbacks to run now."""
         if self.profiler is not None:
             event._owner = owner = self._owner_name()
             self.profiler.on_schedule(owner)
-        heapq.heappush(self._heap, (self._now, next(self._counter), event))
+        self._immediate.append((next(self._counter), event))
 
     # -- running ----------------------------------------------------------------
     def step(self) -> None:
-        """Process the single next event; raises IndexError when empty."""
-        when, _seq, event = heapq.heappop(self._heap)
+        """Process the single next event; raises IndexError when empty.
+
+        Order is exact global ``(time, seq)`` order: the deque front
+        always has the smallest sequence number among deque entries
+        (FIFO over a monotonic counter), so the heap only wins when it
+        holds a same-time event scheduled earlier.
+        """
+        immediate = self._immediate
+        if immediate:
+            heap = self._heap
+            if heap and heap[0][0] <= self._now \
+                    and heap[0][1] < immediate[0][0]:
+                when, _seq, event = heapq.heappop(heap)
+            else:
+                _seq, event = immediate.popleft()
+                when = self._now
+        else:
+            when, _seq, event = heapq.heappop(self._heap)
         if self.profiler is not None:
             # Attribute the clock advance this event causes to the
             # process that scheduled it; advances telescope, so the
@@ -438,8 +465,8 @@ class Simulator:
         if until is not None and until < self._now:
             raise SimulationError(
                 f"cannot run until {until!r}: clock already at {self._now!r}")
-        while self._heap:
-            when = self._heap[0][0]
+        while self._heap or self._immediate:
+            when = self._now if self._immediate else self._heap[0][0]
             if until is not None and when > until:
                 break
             self.step()
@@ -454,4 +481,6 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when empty."""
+        if self._immediate:
+            return self._now
         return self._heap[0][0] if self._heap else float("inf")

@@ -4,6 +4,7 @@ from . import ast
 from .expressions import EvalContext, EvaluationError, evaluate, like_match
 from .lexer import LexerError, tokenize
 from .parser import ParseError, parse, parse_many
+from .plancache import PlanCache, fingerprint
 from .render import render_expression, render_literal, render_statement
 
 __all__ = [
@@ -17,6 +18,8 @@ __all__ = [
     "EvalContext",
     "EvaluationError",
     "like_match",
+    "PlanCache",
+    "fingerprint",
     "render_statement",
     "render_expression",
     "render_literal",

@@ -28,12 +28,12 @@ class Expression:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Literal(Expression):
     value: object  # int | float | str | bool | None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ColumnRef(Expression):
     name: str
     table: Optional[str] = None
@@ -43,27 +43,27 @@ class ColumnRef(Expression):
         return f"{self.table}.{self.name}" if self.table else self.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ParamRef(Expression):
     """A ``?`` placeholder, bound at execution time."""
 
     index: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BinaryOp(Expression):
     op: str  # '=', '<', '>', '<=', '>=', '!=', 'AND', 'OR', '+', '-', '*', '/', '%'
     left: Expression
     right: Expression
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UnaryOp(Expression):
     op: str  # 'NOT', '-'
     operand: Expression
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FunctionCall(Expression):
     name: str  # uppercased
     args: tuple[Expression, ...]
@@ -74,14 +74,14 @@ class FunctionCall(Expression):
         return self.name in ("COUNT", "SUM", "AVG", "MIN", "MAX")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InList(Expression):
     operand: Expression
     options: tuple[Expression, ...]
     negated: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BetweenOp(Expression):
     operand: Expression
     low: Expression
@@ -89,20 +89,20 @@ class BetweenOp(Expression):
     negated: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LikeOp(Expression):
     operand: Expression
     pattern: Expression
     negated: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IsNull(Expression):
     operand: Expression
     negated: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Star(Expression):
     """``*`` in a select list or COUNT(*)."""
 
@@ -110,7 +110,7 @@ class Star(Expression):
 
 
 # ------------------------------------------------------------------ clauses
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ColumnDef:
     name: str
     type_name: str           # 'INTEGER', 'VARCHAR', ...
@@ -121,20 +121,20 @@ class ColumnDef:
     default: Optional[Literal] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OrderItem:
     expression: Expression
     descending: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JoinClause:
     table: str
     alias: Optional[str]
     condition: Expression
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SelectItem:
     expression: Expression
     alias: Optional[str] = None
@@ -149,7 +149,7 @@ class Statement:
     is_transaction_control = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SelectStatement(Statement):
     items: tuple[SelectItem, ...]
     table: Optional[str] = None
@@ -164,7 +164,7 @@ class SelectStatement(Statement):
     distinct: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InsertStatement(Statement):
     table: str
     columns: tuple[str, ...]
@@ -172,7 +172,7 @@ class InsertStatement(Statement):
     is_write = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpdateStatement(Statement):
     table: str
     assignments: tuple[tuple[str, Expression], ...]
@@ -180,14 +180,14 @@ class UpdateStatement(Statement):
     is_write = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeleteStatement(Statement):
     table: str
     where: Optional[Expression] = None
     is_write = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CreateTableStatement(Statement):
     table: str
     columns: tuple[ColumnDef, ...]
@@ -195,7 +195,7 @@ class CreateTableStatement(Statement):
     is_write = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CreateIndexStatement(Statement):
     name: str
     table: str
@@ -204,35 +204,35 @@ class CreateIndexStatement(Statement):
     is_write = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DropTableStatement(Statement):
     table: str
     if_exists: bool = False
     is_write = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CreateDatabaseStatement(Statement):
     name: str
     if_not_exists: bool = False
     is_write = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UseStatement(Statement):
     name: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BeginStatement(Statement):
     is_transaction_control = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitStatement(Statement):
     is_transaction_control = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RollbackStatement(Statement):
     is_transaction_control = True

@@ -24,6 +24,8 @@ class EvaluationError(ValueError):
 class EvalContext:
     """Everything an expression needs to evaluate."""
 
+    __slots__ = ("row", "params", "functions")
+
     def __init__(self,
                  row: Optional[Mapping[str, Any]] = None,
                  params: Optional[Sequence[Any]] = None,

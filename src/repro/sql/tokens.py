@@ -46,7 +46,7 @@ KEYWORDS = frozenset("""
 """.split())
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Token:
     """One lexical token with its source position (for error messages)."""
 

@@ -99,6 +99,7 @@ class LoadGenerator:
         #: keyed by registry identity (see monitor.sample_now).
         self._metrics_registry = None
         self._latency_histogram = None
+        self._retry_counter = None
         self._op_counters: dict = {}
         self._started = False
         #: The spawned user processes, so a drill (or test) can
@@ -185,8 +186,7 @@ class LoadGenerator:
                         # this sleep cannot leak a pool slot.
                         self.retries += 1
                         if self.sim.metrics.enabled:
-                            self.sim.metrics.counter(
-                                "driver.retries").inc()
+                            self._note_retry(self.sim.metrics)
                         yield self.sim.timeout(
                             policy.backoff_for(attempt, rng))
                 if not completed:
@@ -207,16 +207,29 @@ class LoadGenerator:
         metrics = self.sim.metrics
         if metrics.enabled:
             if self._metrics_registry is not metrics:
-                self._metrics_registry = metrics
-                self._latency_histogram = metrics.histogram(
-                    "driver.latency_s")
-                self._op_counters.clear()
+                self._bind_instruments(metrics)
             self._latency_histogram.observe(latency)
             op_counter = self._op_counters.get(operation.name)
             if op_counter is None:
                 op_counter = self._op_counters[operation.name] = \
                     metrics.counter(f"driver.ops.{operation.name}")
             op_counter.inc()
+
+    def _note_retry(self, metrics) -> None:
+        if self._metrics_registry is not metrics:
+            self._bind_instruments(metrics)
+        self._retry_counter.inc()
+
+    def _bind_instruments(self, metrics) -> None:
+        """Intern the driver's instrument handles for ``metrics``.
+
+        Registry lookups are dict gets, but the driver publishes per
+        completed operation; binding the handles once per registry
+        keeps the hot path to attribute loads."""
+        self._metrics_registry = metrics
+        self._latency_histogram = metrics.histogram("driver.latency_s")
+        self._retry_counter = metrics.counter("driver.retries")
+        self._op_counters.clear()
 
     # -- measurements ------------------------------------------------------------
     @property

@@ -181,3 +181,21 @@ def test_load_bench_file_rejects_foreign_json(tmp_path):
     good.write_text(json.dumps(doc({"a": 1.0})))
     assert load_bench_file(str(good))["schemaVersion"] \
         == SCHEMA_VERSION
+
+
+def test_load_bench_file_rejects_empty_baseline(tmp_path):
+    """A baseline with no bench entries must be refused, not compared
+    against (it would pass vacuously)."""
+    for benchmarks in (None, {}):
+        hollow = doc({})
+        hollow["benchmarks"] = benchmarks
+        path = tmp_path / "BENCH_hollow.json"
+        path.write_text(json.dumps(hollow))
+        with pytest.raises(ValueError, match="no benchmark entries"):
+            load_bench_file(str(path))
+
+
+def test_load_bench_file_accepts_populated_baseline(tmp_path):
+    path = tmp_path / "BENCH_ok.json"
+    path.write_text(json.dumps(doc({"a": 1.0})))
+    assert load_bench_file(str(path))["benchmarks"]["a"]

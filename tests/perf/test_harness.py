@@ -145,3 +145,15 @@ def test_committed_baseline_matches_current_registry(tmp_path):
     fresh_doc["run"] = dict(run)  # repeats differ by design here
     assert json.dumps(stable_view(fresh_doc), sort_keys=True) \
         == json.dumps(stable_view(committed), sort_keys=True)
+
+
+def test_write_bench_file_refuses_empty_document(tmp_path):
+    """An empty baseline would make every later --compare vacuous."""
+    document = bench_document(suite())
+    path = tmp_path / "BENCH_empty.json"
+    for benchmarks in (None, {}):
+        hollow = dict(document)
+        hollow["benchmarks"] = benchmarks
+        with pytest.raises(ValueError, match="no benchmark entries"):
+            write_bench_file(str(path), hollow)
+    assert not path.exists()

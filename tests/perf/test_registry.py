@@ -65,3 +65,11 @@ def test_e2e_cell_runs_and_counts_operations():
     assert result.unit == "operations"
     assert result.counters["operations"] > 0
     assert result.counters["slaves"] == 1
+
+
+def test_resolve_family_prefix_with_trailing_dot():
+    # The docs show "--bench sql." — both spellings must work.
+    dotted = {spec.name for spec in resolve(["sql."])}
+    bare = {spec.name for spec in resolve(["sql"])}
+    assert dotted == bare
+    assert {"sql.parse", "sql.parse_cold"} <= dotted

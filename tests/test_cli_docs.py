@@ -77,3 +77,47 @@ def test_bench_docs_list_every_registered_benchmark():
     for bench_spec in all_benchmarks():
         assert f"`{bench_spec.name}`" in text, \
             f"benchmark {bench_spec.name!r} not named in docs/CLI.md"
+
+
+PERF_DOCS = Path(__file__).resolve().parent.parent / "docs" \
+    / "PERFORMANCE.md"
+
+
+def test_performance_playbook_exists_and_is_linked():
+    assert PERF_DOCS.is_file()
+    repo = PERF_DOCS.parent.parent
+    for linker in ("README.md", "EXPERIMENTS.md", "docs/CLI.md",
+                   "docs/ARCHITECTURE.md"):
+        assert "PERFORMANCE.md" in \
+            (repo / linker).read_text(encoding="utf-8"), \
+            f"{linker} does not link the performance playbook"
+
+
+def test_performance_playbook_examples_use_real_flags():
+    """Every ``repro <cmd> --flag`` example in PERFORMANCE.md names a
+    real subcommand and only flags that subparser accepts."""
+    text = PERF_DOCS.read_text(encoding="utf-8")
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:
+        choices = action.choices
+    for line in re.findall(r"python -m repro (\w+)([^\n]*)", text):
+        name, rest = line
+        assert name in choices, f"unknown subcommand {name!r}"
+        known = {option
+                 for action in choices[name]._actions
+                 for option in action.option_strings}
+        for flag in re.findall(r"(--[a-z-]+)", rest):
+            assert flag in known, \
+                f"PERFORMANCE.md: {name}: unknown flag {flag}"
+
+
+def test_performance_playbook_names_current_baseline():
+    """The worked case study must reference the committed baseline
+    that actually exists (the trajectory convention it documents)."""
+    repo = PERF_DOCS.parent.parent
+    text = PERF_DOCS.read_text(encoding="utf-8")
+    names = set(re.findall(r"BENCH_[0-9a-z-]+\.json", text))
+    assert names, "playbook never names a BENCH_<date>.json file"
+    for name in names:
+        assert (repo / name).is_file(), \
+            f"PERFORMANCE.md references {name}, which is not committed"
